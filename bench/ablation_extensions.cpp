@@ -1,0 +1,191 @@
+// Ablations beyond the paper's figures (DESIGN.md §5 "ablations"):
+//   (1) stratification source: oracle strata vs learned strata (§7-II
+//       k-means / bootstrap-quantile) vs none (SRS) — accuracy at equal
+//       sampling budgets;
+//   (2) scheduling-cost model: how the batched engine's per-stage dispatch
+//       overhead shapes the Figure 4(c) batch-interval trend;
+//   (3) OASRS budget allocation: equal vs proportional split under skew.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "sampling/oasrs.h"
+#include "sampling/scasrs.h"
+#include "stratify/stratifier.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace streamapprox;
+using namespace streamapprox::bench;
+using engine::Record;
+
+double mean_of_records(const std::vector<Record>& records) {
+  double sum = 0.0;
+  for (const auto& record : records) sum += record.value;
+  return sum / static_cast<double>(records.size());
+}
+
+double oasrs_mean(const std::vector<Record>& records, std::size_t budget,
+                  std::uint64_t seed) {
+  sampling::OasrsConfig config;
+  config.total_budget = budget;
+  config.seed = seed;
+  auto sampler = sampling::make_oasrs<Record>(config);
+  for (const auto& record : records) sampler.offer(record);
+  const auto sample = sampler.take();
+  double sum = 0.0;
+  double count = 0.0;
+  for (const auto& stratum : sample.strata) {
+    double stratum_sum = 0.0;
+    for (const auto& record : stratum.items) stratum_sum += record.value;
+    sum += stratum_sum * stratum.weight;
+    count += static_cast<double>(stratum.seen);
+  }
+  return count > 0.0 ? sum / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablations beyond the paper (scale %.2f)\n", bench_scale());
+
+  // ---------------------------------------------------------------- (1)
+  {
+    // Skewed Gaussian mixture with source labels; we strip the labels for
+    // the "learned" and "none" variants.
+    workload::SyntheticStream stream(
+        workload::skewed_gaussian_substreams(scaled_rate(50000.0)), 7);
+    const auto labelled = stream.generate(10.0);
+    std::vector<Record> unlabeled = labelled;
+    for (auto& record : unlabeled) record.stratum = 0;
+    const double exact = mean_of_records(labelled);
+
+    Table table("Ablation 1: MEAN accuracy loss (%) by stratification "
+                "source at equal budgets",
+                {"Budget (% of stream)", "oracle strata",
+                 "k-means learned (k=3)", "quantile learned (16 bins)",
+                 "none (SRS)"});
+    for (double fraction : {0.02, 0.05, 0.10}) {
+      const auto budget = static_cast<std::size_t>(
+          fraction * static_cast<double>(labelled.size()));
+      // Oracle: true sub-stream labels.
+      const double oracle =
+          relative_error(oasrs_mean(labelled, budget, 11), exact);
+      // Learned: k-means over values.
+      std::vector<Record> kmeans_records;
+      kmeans_records.reserve(unlabeled.size());
+      stratify::KMeansStratifier kmeans(3);
+      for (const auto& record : unlabeled) {
+        kmeans_records.push_back(stratify::restratify(record, kmeans));
+      }
+      const double learned_kmeans =
+          relative_error(oasrs_mean(kmeans_records, budget, 12), exact);
+      // Learned: bootstrap quantiles.
+      std::vector<Record> quantile_records;
+      quantile_records.reserve(unlabeled.size());
+      stratify::QuantileStratifier quantile(16, 8192);
+      for (const auto& record : unlabeled) {
+        quantile_records.push_back(stratify::restratify(record, quantile));
+      }
+      const double learned_quantile =
+          relative_error(oasrs_mean(quantile_records, budget, 13), exact);
+      // None: plain SRS.
+      streamapprox::Rng rng(14);
+      const auto srs = sampling::scasrs_sample(unlabeled, fraction, rng);
+      const double srs_loss =
+          relative_error(mean_of_records(srs.items), exact);
+
+      table.add_row({Table::num(100.0 * fraction, 0),
+                     Table::num(100.0 * oracle, 3),
+                     Table::num(100.0 * learned_kmeans, 3),
+                     Table::num(100.0 * learned_quantile, 3),
+                     Table::num(100.0 * srs_loss, 3)});
+    }
+    table.print();
+    paper_shape(
+        "(extension) k-means-learned strata recover near-oracle accuracy. "
+        "Equal-occupancy quantile bins cannot isolate sub-streams rarer "
+        "than 1/bins (here the 1% heavy tail), so they need many bins to "
+        "compete — the choice of stratifier matters, which is why §7 "
+        "defers it to a dedicated pre-processing step.");
+  }
+
+  // ---------------------------------------------------------------- (2)
+  {
+    workload::SyntheticStream stream(
+        workload::gaussian_substreams(scaled_rate(50000.0)), 8);
+    const auto records = stream.generate(20.0);
+    const core::QuerySpec query{core::Aggregation::kMean, false};
+
+    Table table("Ablation 2: Spark-StreamApprox throughput (items/s) vs "
+                "per-stage dispatch overhead x batch interval",
+                {"stage overhead", "250 ms", "500 ms", "1000 ms"});
+    for (int overhead_us : {0, 500, 2000}) {
+      std::vector<std::string> row = {std::to_string(overhead_us) + " us"};
+      for (int interval_ms : {250, 500, 1000}) {
+        auto config = default_config();
+        config.stage_overhead = std::chrono::microseconds(overhead_us);
+        config.batch_interval_us = interval_ms * 1000;
+        const auto m = measure_system(core::SystemKind::kSparkApprox,
+                                      records, config, query);
+        row.push_back(format_throughput(m.throughput));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    paper_shape(
+        "(ablation) With zero dispatch overhead the batch-interval trend of "
+        "Fig. 4(c) flattens — the driver-side scheduling cost is what makes "
+        "small batches expensive, as the paper asserts in §5.3.");
+  }
+
+  // ---------------------------------------------------------------- (3)
+  {
+    workload::SyntheticStream stream(
+        workload::skewed_gaussian_substreams(scaled_rate(50000.0)), 9);
+    const auto records = stream.generate(10.0);
+    const double exact = mean_of_records(records);
+
+    Table table("Ablation 3: OASRS budget allocation under 80/19/1% skew "
+                "(MEAN accuracy loss %, budget 5%)",
+                {"Policy", "loss (%)", "min stratum sample"});
+    for (auto policy : {sampling::AllocationPolicy::kEqual,
+                        sampling::AllocationPolicy::kProportional}) {
+      sampling::OasrsConfig config;
+      config.total_budget = records.size() / 20;
+      config.policy = policy;
+      config.seed = 15;
+      auto sampler = sampling::make_oasrs<Record>(config);
+      // Two intervals so the proportional policy has history to act on.
+      for (const auto& record : records) sampler.offer(record);
+      sampler.take();
+      for (const auto& record : records) sampler.offer(record);
+      const auto sample = sampler.take();
+      double sum = 0.0;
+      double count = 0.0;
+      std::size_t min_sample = records.size();
+      for (const auto& stratum : sample.strata) {
+        double stratum_sum = 0.0;
+        for (const auto& record : stratum.items) {
+          stratum_sum += record.value;
+        }
+        sum += stratum_sum * stratum.weight;
+        count += static_cast<double>(stratum.seen);
+        min_sample = std::min(min_sample, stratum.items.size());
+      }
+      const double loss = relative_error(sum / count, exact);
+      table.add_row({policy == sampling::AllocationPolicy::kEqual
+                         ? "equal (OASRS default)"
+                         : "proportional (STS-style)",
+                     Table::num(100.0 * loss, 3),
+                     std::to_string(min_sample)});
+    }
+    table.print();
+    paper_shape(
+        "(ablation) Equal allocation guards the 1% sub-stream with a full "
+        "reservoir; proportional allocation starves it — why OASRS defaults "
+        "to equal splits (§3.2).");
+  }
+  return 0;
+}

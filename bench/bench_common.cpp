@@ -1,0 +1,100 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace streamapprox::bench {
+
+double bench_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("SA_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double value = std::atof(env);
+    return std::clamp(value > 0.0 ? value : 1.0, 0.01, 100.0);
+  }();
+  return scale;
+}
+
+std::size_t scaled(std::size_t n) {
+  const auto value =
+      static_cast<std::size_t>(static_cast<double>(n) * bench_scale());
+  return std::max<std::size_t>(1, value);
+}
+
+double scaled_rate(double rate) { return rate * bench_scale(); }
+
+Measured measure_system(core::SystemKind kind,
+                        const std::vector<engine::Record>& records,
+                        const core::SystemConfig& config,
+                        const core::QuerySpec& query) {
+  const auto result = core::run_system(kind, records, config);
+
+  // Exact windows are deterministic in (records, window config); cache them
+  // across the many systems/fractions a bench sweeps over the same stream.
+  struct CacheKey {
+    const void* data;
+    std::size_t size;
+    std::int64_t window;
+    std::int64_t slide;
+    bool operator<(const CacheKey& o) const {
+      return std::tie(data, size, window, slide) <
+             std::tie(o.data, o.size, o.window, o.slide);
+    }
+  };
+  static std::map<CacheKey, std::vector<engine::WindowResult>> cache;
+  const CacheKey key{records.data(), records.size(), config.window.size_us,
+                     config.window.slide_us};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, core::exact_window_results(records, config.window))
+             .first;
+  }
+
+  Measured measured;
+  measured.throughput = result.throughput();
+  measured.wall_seconds = result.wall_seconds;
+  measured.windows = result.windows.size();
+  measured.accuracy_loss =
+      100.0 * core::mean_accuracy_loss(
+                  core::evaluate_windows(result.windows, query),
+                  core::evaluate_windows(it->second, query), query);
+  return measured;
+}
+
+std::string format_throughput(double items_per_sec) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  if (items_per_sec >= 1e6) {
+    out.precision(2);
+    out << items_per_sec / 1e6 << "M";
+  } else if (items_per_sec >= 1e3) {
+    out.precision(1);
+    out << items_per_sec / 1e3 << "K";
+  } else {
+    out.precision(0);
+    out << items_per_sec;
+  }
+  return out.str();
+}
+
+void paper_shape(const std::string& text) {
+  std::printf("  [paper] %s\n", text.c_str());
+  std::fflush(stdout);
+}
+
+core::SystemConfig default_config() {
+  core::SystemConfig config;
+  config.sampling_fraction = 0.6;
+  config.workers = 4;
+  config.batch_interval_us = 500'000;
+  config.window = {10'000'000, 5'000'000};
+  config.query_cost = engine::QueryCost{32};
+  config.stage_overhead = std::chrono::microseconds(500);
+  config.seed = 2017;
+  return config;
+}
+
+}  // namespace streamapprox::bench

@@ -1,0 +1,62 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Every bench binary follows the same recipe (paper §6.1 methodology):
+// generate a deterministic workload, run a system over it in saturation
+// mode, report throughput (items/s), accuracy loss vs. the exact ground
+// truth, and latency (wall seconds for the dataset). Results are printed as
+// paper-style tables; the paper's reported shape is echoed next to each
+// table so EXPERIMENTS.md comparisons are one diff away.
+//
+// Scale: the environment variable SA_BENCH_SCALE (default 1.0) multiplies
+// every workload size, so `SA_BENCH_SCALE=0.1 fig4_microbench` smoke-runs in
+// seconds and larger machines can crank it up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/query.h"
+#include "core/systems.h"
+#include "engine/record.h"
+
+namespace streamapprox::bench {
+
+/// Workload scale factor from SA_BENCH_SCALE (clamped to [0.01, 100]).
+double bench_scale();
+
+/// n scaled by bench_scale(), at least 1.
+std::size_t scaled(std::size_t n);
+
+/// rate scaled by bench_scale(). Event-time DURATIONS stay fixed across
+/// scales (sliding windows must complete); the arrival RATE is what shrinks
+/// on smoke runs and grows on big machines.
+double scaled_rate(double rate);
+
+/// One measured run of one system.
+struct Measured {
+  double throughput = 0.0;     ///< records / wall second
+  double accuracy_loss = 0.0;  ///< paper metric, in PERCENT
+  double wall_seconds = 0.0;   ///< latency to process the dataset
+  std::size_t windows = 0;     ///< completed windows
+};
+
+/// Runs `kind` over `records` and evaluates `query` against exact ground
+/// truth (computed once per unique window config and cached internally).
+Measured measure_system(core::SystemKind kind,
+                        const std::vector<engine::Record>& records,
+                        const core::SystemConfig& config,
+                        const core::QuerySpec& query);
+
+/// "3.21M" / "450.2K" style throughput formatting.
+std::string format_throughput(double items_per_sec);
+
+/// Prints a one-line reminder of what the paper reported for this figure.
+void paper_shape(const std::string& text);
+
+/// Default microbenchmark SystemConfig (paper defaults: 10 s window, 5 s
+/// slide, 500 ms batches, 4 workers).
+core::SystemConfig default_config();
+
+}  // namespace streamapprox::bench

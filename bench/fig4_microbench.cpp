@@ -1,0 +1,137 @@
+// Figure 4 reproduction (paper §5.2, §5.3) — synthetic Gaussian stream:
+//   (a) throughput vs sampling fraction, all six systems
+//   (b) accuracy loss vs sampling fraction
+//   (c) throughput vs batch interval (250/500/1000 ms), Spark-based systems
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace streamapprox;
+using namespace streamapprox::bench;
+using core::SystemKind;
+
+constexpr SystemKind kSampledSystems[] = {
+    SystemKind::kFlinkApprox,
+    SystemKind::kSparkApprox,
+    SystemKind::kSparkSRS,
+    SystemKind::kSparkSTS,
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4: micro-benchmark on the synthetic Gaussian stream\n");
+  std::printf("(sub-streams A(10,5), B(1000,50), C(10000,500), equal rates; "
+              "scale %.2f)\n", bench_scale());
+
+  // 20 s of event time at 100k items/s => windows at the paper's 10s/5s.
+  // The duration is fixed (windows must complete); the rate scales.
+  workload::SyntheticStream stream(
+      workload::gaussian_substreams(scaled_rate(100000.0)), /*seed=*/2017);
+  const auto records = stream.generate(20.0);
+
+  const core::QuerySpec query{core::Aggregation::kMean, false};
+  const std::vector<int> fractions = {10, 20, 40, 60, 80, 90};
+
+  // ---- One run per (system, fraction); both 4a and 4b read from it.
+  std::map<std::pair<SystemKind, int>, Measured> runs;
+  for (SystemKind kind : kSampledSystems) {
+    for (int f : fractions) {
+      auto config = default_config();
+      config.sampling_fraction = f / 100.0;
+      runs[{kind, f}] = measure_system(kind, records, config, query);
+    }
+  }
+  const auto native_spark = measure_system(SystemKind::kNativeSpark, records,
+                                           default_config(), query);
+  const auto native_flink = measure_system(SystemKind::kNativeFlink, records,
+                                           default_config(), query);
+
+  // ---- Figure 4 (a): throughput vs sampling fraction.
+  {
+    Table table("Figure 4(a): throughput (items/s) vs sampling fraction (%)",
+                {"System", "10", "20", "40", "60", "80", "Native"});
+    for (SystemKind kind : kSampledSystems) {
+      std::vector<std::string> row = {core::system_name(kind)};
+      for (int f : {10, 20, 40, 60, 80}) {
+        row.push_back(format_throughput(runs[{kind, f}].throughput));
+      }
+      row.push_back("-");
+      table.add_row(row);
+    }
+    table.add_row({"Native Spark", "-", "-", "-", "-", "-",
+                   format_throughput(native_spark.throughput)});
+    table.add_row({"Native Flink", "-", "-", "-", "-", "-",
+                   format_throughput(native_flink.throughput)});
+    table.print();
+    paper_shape(
+        "StreamApprox ~= SRS > Native > STS; Spark-StreamApprox 1.68x-2.60x "
+        "over STS (60%/10%); Flink-StreamApprox 2.13x-3x over STS; "
+        "Spark-StreamApprox 1.8x over native Spark at 60%.");
+    const double spark_vs_sts_60 =
+        runs[{SystemKind::kSparkApprox, 60}].throughput /
+        runs[{SystemKind::kSparkSTS, 60}].throughput;
+    const double spark_vs_sts_10 =
+        runs[{SystemKind::kSparkApprox, 10}].throughput /
+        runs[{SystemKind::kSparkSTS, 10}].throughput;
+    const double flink_vs_sts_60 =
+        runs[{SystemKind::kFlinkApprox, 60}].throughput /
+        runs[{SystemKind::kSparkSTS, 60}].throughput;
+    const double spark_vs_native_60 =
+        runs[{SystemKind::kSparkApprox, 60}].throughput /
+        native_spark.throughput;
+    const double flink_vs_native_60 =
+        runs[{SystemKind::kFlinkApprox, 60}].throughput /
+        native_flink.throughput;
+    std::printf(
+        "  [measured] SparkApprox/STS: %.2fx @60%%, %.2fx @10%%; "
+        "FlinkApprox/STS: %.2fx @60%%; SparkApprox/native: %.2fx @60%%; "
+        "FlinkApprox/native: %.2fx @60%%\n",
+        spark_vs_sts_60, spark_vs_sts_10, flink_vs_sts_60,
+        spark_vs_native_60, flink_vs_native_60);
+  }
+
+  // ---- Figure 4 (b): accuracy loss vs sampling fraction.
+  {
+    Table table("Figure 4(b): accuracy loss (%) vs sampling fraction (%)",
+                {"System", "10", "20", "40", "60", "80", "90"});
+    for (SystemKind kind : kSampledSystems) {
+      std::vector<std::string> row = {core::system_name(kind)};
+      for (int f : fractions) {
+        row.push_back(Table::num(runs[{kind, f}].accuracy_loss, 3));
+      }
+      table.add_row(row);
+    }
+    table.print();
+    paper_shape(
+        "Loss decreases with fraction; STS <= StreamApprox < SRS "
+        "(at 60%: STS 0.29%, StreamApprox 0.38-0.44%, SRS 0.61%).");
+  }
+
+  // ---- Figure 4 (c): throughput vs batch interval (Spark-based systems).
+  {
+    Table table("Figure 4(c): throughput (items/s) vs batch interval (ms), "
+                "fraction 60%",
+                {"System", "250", "500", "1000"});
+    for (SystemKind kind : {SystemKind::kSparkApprox, SystemKind::kSparkSRS,
+                            SystemKind::kSparkSTS}) {
+      std::vector<std::string> row = {core::system_name(kind)};
+      for (int interval_ms : {250, 500, 1000}) {
+        auto config = default_config();
+        config.batch_interval_us = interval_ms * 1000;
+        const auto m = measure_system(kind, records, config, query);
+        row.push_back(format_throughput(m.throughput));
+      }
+      table.add_row(row);
+    }
+    table.print();
+    paper_shape(
+        "Smaller batches widen StreamApprox's lead: 1.36x/2.33x over "
+        "SRS/STS at 250 ms vs 1.07x/1.63x at 1000 ms.");
+  }
+  return 0;
+}

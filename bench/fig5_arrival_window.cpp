@@ -1,0 +1,104 @@
+// Figure 5 reproduction (paper §5.4, §5.5) — Gaussian sub-streams:
+//   (a) accuracy loss vs sub-stream arrival rates (8K:2K:100 / 3K:3K:3K /
+//       100:2K:8K), fraction 60%
+//   (b) throughput vs window size (10/20/30/40 s), rates 8K:2K:100
+//   (c) accuracy loss vs window size
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace streamapprox;
+using namespace streamapprox::bench;
+using core::SystemKind;
+
+constexpr SystemKind kSystems[] = {
+    SystemKind::kFlinkApprox,
+    SystemKind::kSparkApprox,
+    SystemKind::kSparkSRS,
+    SystemKind::kSparkSTS,
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5: arrival-rate and window-size sensitivity "
+              "(scale %.2f)\n", bench_scale());
+  const core::QuerySpec query{core::Aggregation::kMean, false};
+  // The paper's arrival rates (items/s) ARE the experimental variable here,
+  // so they stay unscaled; only the observation duration is fixed.
+  const double duration = 40.0;
+
+  // ---- Figure 5 (a): accuracy vs arrival rates of A:B:C.
+  {
+    struct Mix {
+      const char* label;
+      double a, b, c;
+    };
+    const Mix mixes[] = {
+        {"8K:2K:100", 8000, 2000, 100},
+        {"3K:3K:3K", 3000, 3000, 3000},
+        {"100:2K:8K", 100, 2000, 8000},
+    };
+    Table table("Figure 5(a): accuracy loss (%) vs arrival rates A:B:C, "
+                "fraction 60%",
+                {"System", "8K:2K:100", "3K:3K:3K", "100:2K:8K"});
+    std::vector<std::vector<std::string>> rows;
+    for (SystemKind kind : kSystems) {
+      rows.push_back({core::system_name(kind)});
+    }
+    for (const auto& mix : mixes) {
+      workload::SyntheticStream stream(
+          workload::gaussian_substreams_rates(mix.a, mix.b, mix.c), 55);
+      const auto records = stream.generate(duration);
+      for (std::size_t s = 0; s < std::size(kSystems); ++s) {
+        const auto m =
+            measure_system(kSystems[s], records, default_config(), query);
+        rows[s].push_back(Table::num(m.accuracy_loss, 3));
+      }
+    }
+    for (auto& row : rows) table.add_row(std::move(row));
+    table.print();
+    paper_shape(
+        "Loss shrinks as sub-stream C (the significant values) speeds up; "
+        "SRS worst at C=100/s because it overlooks C; all systems converge "
+        "once C reaches 8000/s.");
+  }
+
+  // ---- Figure 5 (b)+(c): window-size sweep at rates 8K:2K:100.
+  {
+    workload::SyntheticStream stream(
+        workload::gaussian_substreams_rates(8000, 2000, 100), 56);
+    // Long enough for several 40 s windows to complete.
+    const auto records = stream.generate(100.0);
+
+    Table throughput_table(
+        "Figure 5(b): throughput (items/s) vs window size (s), fraction 60%",
+        {"System", "10", "20", "30", "40"});
+    Table accuracy_table(
+        "Figure 5(c): accuracy loss (%) vs window size (s), fraction 60%",
+        {"System", "10", "20", "30", "40"});
+    for (SystemKind kind : kSystems) {
+      std::vector<std::string> trow = {core::system_name(kind)};
+      std::vector<std::string> arow = {core::system_name(kind)};
+      for (int window_s : {10, 20, 30, 40}) {
+        auto config = default_config();
+        config.window.size_us = window_s * 1'000'000LL;
+        config.window.slide_us = 5'000'000LL;
+        const auto m = measure_system(kind, records, config, query);
+        trow.push_back(format_throughput(m.throughput));
+        arow.push_back(Table::num(m.accuracy_loss, 3));
+      }
+      throughput_table.add_row(std::move(trow));
+      accuracy_table.add_row(std::move(arow));
+    }
+    throughput_table.print();
+    accuracy_table.print();
+    paper_shape(
+        "Window size affects neither throughput nor accuracy significantly "
+        "(sampling happens per batch/slide, not per window).");
+  }
+  return 0;
+}

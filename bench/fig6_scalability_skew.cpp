@@ -1,0 +1,145 @@
+// Figure 6 reproduction (paper §5.6, §5.7):
+//   (a) scalability: throughput vs #cores (2..8) and #nodes (1..4, 8 cores
+//       each => worker groups of 8/16/24/32 threads), fraction 40%
+//   (b) throughput at fixed accuracy loss (0.5% / 1%), skewed Gaussian
+//   (c) accuracy loss vs sampling fraction, skewed Poisson (80/19.99/0.01%)
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace streamapprox;
+using namespace streamapprox::bench;
+using core::SystemKind;
+
+constexpr SystemKind kSystems[] = {
+    SystemKind::kFlinkApprox,
+    SystemKind::kSparkApprox,
+    SystemKind::kSparkSRS,
+    SystemKind::kSparkSTS,
+};
+
+/// The paper's "fix the accuracy loss, compare throughputs" methodology
+/// (Fig. 6b / 8c / 9c): per system, the best throughput achievable while the
+/// accuracy loss stays within `target_loss_pct`. Falls back to the run
+/// closest to the target when no sampled fraction meets it.
+Measured throughput_at_accuracy(SystemKind kind,
+                                const std::vector<engine::Record>& records,
+                                core::SystemConfig config,
+                                const core::QuerySpec& query,
+                                double target_loss_pct) {
+  Measured best;
+  Measured closest;
+  double best_gap = 1e18;
+  bool met = false;
+  for (double fraction : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    config.sampling_fraction = fraction;
+    const auto m = measure_system(kind, records, config, query);
+    if (m.accuracy_loss <= target_loss_pct &&
+        m.throughput > best.throughput) {
+      best = m;
+      met = true;
+    }
+    const double gap = std::abs(m.accuracy_loss - target_loss_pct);
+    if (gap < best_gap) {
+      best_gap = gap;
+      closest = m;
+    }
+  }
+  return met ? best : closest;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6: scalability and skew (scale %.2f)\n", bench_scale());
+  const core::QuerySpec query{core::Aggregation::kMean, false};
+
+  // ---- Figure 6 (a): scale-up (cores) and scale-out (nodes of 8 cores).
+  {
+    workload::SyntheticStream stream(
+        workload::gaussian_substreams(scaled_rate(100000.0)), 66);
+    const auto records = stream.generate(20.0);
+    Table table("Figure 6(a): throughput (items/s), fraction 40% "
+                "(cores = threads; node = 8-thread worker group)",
+                {"System", "2 cores", "4 cores", "6 cores", "8 cores",
+                 "1 node", "2 nodes", "3 nodes", "4 nodes"});
+    for (SystemKind kind : kSystems) {
+      std::vector<std::string> row = {core::system_name(kind)};
+      for (std::size_t workers : {2u, 4u, 6u, 8u, 8u, 16u, 24u, 32u}) {
+        auto config = default_config();
+        config.sampling_fraction = 0.4;
+        config.workers = workers;
+        const auto m = measure_system(kind, records, config, query);
+        row.push_back(format_throughput(m.throughput));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    paper_shape(
+        "StreamApprox and SRS scale better than STS (1.8x over STS at one "
+        "8-core node, 2.3x at three nodes); Flink-StreamApprox 1.9x/1.4x "
+        "over Spark-StreamApprox at 1/3 nodes. NOTE: this host has 24 "
+        "hardware threads; the 4-node (32-thread) column oversubscribes.");
+  }
+
+  // ---- Figure 6 (b): throughput at the same accuracy loss (skewed
+  // Gaussian, 80/19/1%).
+  {
+    workload::SyntheticStream stream(
+        workload::skewed_gaussian_substreams(scaled_rate(100000.0)), 67);
+    const auto records = stream.generate(20.0);
+    Table table(
+        "Figure 6(b): throughput (items/s) at fixed accuracy loss, skewed "
+        "Gaussian 80/19/1%",
+        {"System", "loss 0.5%", "loss 1%"});
+    for (SystemKind kind : {SystemKind::kSparkSRS, SystemKind::kSparkSTS,
+                            SystemKind::kSparkApprox,
+                            SystemKind::kFlinkApprox}) {
+      std::vector<std::string> row = {core::system_name(kind)};
+      for (double target : {0.5, 1.0}) {
+        const auto m = throughput_at_accuracy(kind, records,
+                                              default_config(), query, target);
+        row.push_back(format_throughput(m.throughput));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    paper_shape(
+        "At 1% loss: STS 1.05x over SRS; Spark-StreamApprox 1.25x over STS; "
+        "Flink-StreamApprox highest (1.68x/1.6x/1.26x over SRS/STS/"
+        "Spark-StreamApprox).");
+  }
+
+  // ---- Figure 6 (c): accuracy vs fraction on the long-tail Poisson skew.
+  {
+    // The 80/19.99/0.01% rate split is the experiment: unscaled, as in
+    // Fig. 5(a).
+    workload::SyntheticStream stream(
+        workload::skewed_poisson_substreams(10000.0), 68);
+    const auto records = stream.generate(40.0);
+    Table table(
+        "Figure 6(c): accuracy loss (%) vs sampling fraction, skewed Poisson "
+        "80/19.99/0.01%",
+        {"System", "10", "20", "40", "60", "80", "90"});
+    for (SystemKind kind : kSystems) {
+      std::vector<std::string> row = {core::system_name(kind)};
+      for (int f : {10, 20, 40, 60, 80, 90}) {
+        auto config = default_config();
+        config.sampling_fraction = f / 100.0;
+        const auto m = measure_system(kind, records, config, query);
+        row.push_back(Table::num(m.accuracy_loss, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    paper_shape(
+        "StreamApprox and STS stay accurate; SRS collapses (up to ~10% loss) "
+        "because it overlooks the 0.01% sub-stream carrying 1e8-scale "
+        "values — the long-tail superiority claim of §5.7.");
+  }
+  return 0;
+}

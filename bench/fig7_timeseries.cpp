@@ -1,0 +1,111 @@
+// Figure 7 reproduction (paper §5.7-I): the mean of the received items,
+// estimated every 5 s over a 10 s sliding window during a 10-minute run on
+// the skewed Gaussian stream (A(100,10) 80%, B(1000,100) 19%,
+// C(10000,1000) 1%), for SRS / STS / StreamApprox against the ground truth.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace streamapprox;
+using namespace streamapprox::bench;
+using core::SystemKind;
+
+std::map<std::int64_t, double> window_means(
+    const std::vector<engine::WindowResult>& windows) {
+  std::map<std::int64_t, double> means;
+  const core::QuerySpec query{core::Aggregation::kMean, false};
+  for (const auto& estimate : core::evaluate_windows(windows, query)) {
+    means[estimate.window_end_us] = estimate.overall.estimate;
+  }
+  return means;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 7: windowed mean over a 10-minute observation, skewed "
+              "Gaussian 80/19/1%%, window 10 s, slide 5 s (scale %.2f)\n",
+              bench_scale());
+
+  // 600 s of event time; the rate scales, the duration (and thus the 120
+  // slides of the paper's x-axis) stays fixed.
+  const double rate = scaled_rate(10000.0);
+  workload::SyntheticStream stream(
+      workload::skewed_gaussian_substreams(rate), 77);
+  const auto records = stream.generate(600.0);
+
+  auto config = default_config();
+  config.sampling_fraction = 0.6;
+
+  const auto srs =
+      core::run_system(SystemKind::kSparkSRS, records, config);
+  const auto sts =
+      core::run_system(SystemKind::kSparkSTS, records, config);
+  const auto approx =
+      core::run_system(SystemKind::kSparkApprox, records, config);
+  const auto exact = core::exact_window_results(records, config.window);
+
+  const auto truth = window_means(exact);
+  const auto srs_means = window_means(srs.windows);
+  const auto sts_means = window_means(sts.windows);
+  const auto approx_means = window_means(approx.windows);
+
+  Table table(
+      "Figure 7(a,b,c): mean value per 5 s slide (10-minute observation)",
+      {"t (s)", "Ground truth", "SRS", "STS", "StreamApprox"});
+  struct ErrorAccumulator {
+    double total = 0.0;
+    double worst = 0.0;
+    int count = 0;
+    void add(double approx_value, double exact_value) {
+      const double err = streamapprox::relative_error(approx_value,
+                                                      exact_value);
+      total += err;
+      worst = std::max(worst, err);
+      ++count;
+    }
+    double mean() const { return count == 0 ? 0.0 : total / count; }
+  };
+  ErrorAccumulator srs_err;
+  ErrorAccumulator sts_err;
+  ErrorAccumulator approx_err;
+
+  for (const auto& [end_us, exact_mean] : truth) {
+    const auto pick = [end_us = end_us](
+        const std::map<std::int64_t, double>& means) {
+      auto it = means.find(end_us);
+      return it == means.end() ? 0.0 : it->second;
+    };
+    const double srs_mean = pick(srs_means);
+    const double sts_mean = pick(sts_means);
+    const double approx_mean = pick(approx_means);
+    srs_err.add(srs_mean, exact_mean);
+    sts_err.add(sts_mean, exact_mean);
+    approx_err.add(approx_mean, exact_mean);
+    table.add_row({Table::num(static_cast<double>(end_us) / 1e6, 0),
+                   Table::num(exact_mean, 2), Table::num(srs_mean, 2),
+                   Table::num(sts_mean, 2), Table::num(approx_mean, 2)});
+  }
+  table.print();
+
+  Table summary("Figure 7 summary: deviation from ground truth across the "
+                "10-minute observation",
+                {"System", "mean |rel err| (%)", "max |rel err| (%)"});
+  summary.add_row({"Spark-based SRS", Table::num(100 * srs_err.mean(), 3),
+                   Table::num(100 * srs_err.worst, 3)});
+  summary.add_row({"Spark-based STS", Table::num(100 * sts_err.mean(), 3),
+                   Table::num(100 * sts_err.worst, 3)});
+  summary.add_row({"StreamApprox", Table::num(100 * approx_err.mean(), 3),
+                   Table::num(100 * approx_err.worst, 3)});
+  summary.print();
+  paper_shape(
+      "STS and StreamApprox hug the ground-truth line; SRS scatters "
+      "visibly because the minority sub-stream C is under-sampled "
+      "(Fig. 7a vs 7b/7c).");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Sampler-kernel microbenchmarks (google-benchmark): per-item cost of each
+// sampling algorithm in isolation, plus the ablations DESIGN.md calls out
+// (Algorithm R vs Algorithm L, OASRS allocation policies, ScaSRS vs
+// Bernoulli, grouping cost of STS).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "engine/record.h"
+#include "sampling/oasrs.h"
+#include "sampling/reservoir.h"
+#include "sampling/scasrs.h"
+#include "sampling/streaming_bernoulli.h"
+#include "sampling/sts.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using streamapprox::engine::Record;
+using namespace streamapprox;
+
+std::vector<Record> bench_stream(std::size_t n) {
+  workload::SyntheticStream stream(workload::gaussian_substreams(30000.0),
+                                   424242);
+  return stream.generate_count(n);
+}
+
+// ---- Reservoir: Algorithm R vs Algorithm L (skip-ahead) ablation.
+
+void BM_ReservoirAlgorithmR(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sampling::ReservoirSampler<Record> reservoir(capacity, 7);
+    for (const auto& record : records) reservoir.offer(record);
+    benchmark::DoNotOptimize(reservoir.items().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ReservoirAlgorithmR)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ReservoirAlgorithmL(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sampling::FastReservoirSampler<Record> reservoir(capacity, 7);
+    for (const auto& record : records) reservoir.offer(record);
+    benchmark::DoNotOptimize(reservoir.items().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ReservoirAlgorithmL)->Arg(64)->Arg(1024)->Arg(16384);
+
+// ---- OASRS end-to-end offer cost (3 strata, budget = 10% of stream).
+
+void BM_OasrsOffer(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  for (auto _ : state) {
+    sampling::OasrsConfig config;
+    config.total_budget = records.size() / 10;
+    config.seed = 9;
+    auto sampler = sampling::make_oasrs<Record>(config);
+    for (const auto& record : records) sampler.offer(record);
+    auto sample = sampler.take();
+    benchmark::DoNotOptimize(sample.strata.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_OasrsOffer);
+
+// ---- Batch samplers at fraction 60% (the paper's default).
+
+void BM_ScaSrsBatch(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  Rng rng(11);
+  for (auto _ : state) {
+    auto result = sampling::scasrs_sample(records, 0.6, rng);
+    benchmark::DoNotOptimize(result.items.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ScaSrsBatch);
+
+void BM_BernoulliBatch(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  Rng rng(12);
+  for (auto _ : state) {
+    auto result = sampling::bernoulli_sample(records, 0.6, rng);
+    benchmark::DoNotOptimize(result.items.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_BernoulliBatch);
+
+void BM_StsLocalBatch(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  Rng rng(13);
+  for (auto _ : state) {
+    auto sample = sampling::sts_sample_local(
+        records, streamapprox::engine::RecordStratum{}, 0.6, rng, true);
+    benchmark::DoNotOptimize(sample.strata.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_StsLocalBatch);
+
+// The grouping step alone — the data arrangement STS pays for even before
+// sampling (the shuffle adds synchronisation on top in the full engine).
+
+void BM_GroupByStratum(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  for (auto _ : state) {
+    auto groups = sampling::group_by_stratum(
+        records, streamapprox::engine::RecordStratum{});
+    benchmark::DoNotOptimize(&groups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_GroupByStratum);
+
+// ---- Streaming Bernoulli (lower-bound baseline).
+
+void BM_StreamingBernoulli(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  for (auto _ : state) {
+    sampling::StreamingBernoulliSampler<Record> sampler(0.6, 15);
+    for (const auto& record : records) sampler.offer(record);
+    benchmark::DoNotOptimize(sampler.items().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_StreamingBernoulli);
+
+// ---- OASRS allocation policy ablation (equal vs proportional).
+
+void BM_OasrsAllocationPolicy(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  const auto policy = static_cast<sampling::AllocationPolicy>(state.range(0));
+  for (auto _ : state) {
+    sampling::OasrsConfig config;
+    config.total_budget = records.size() / 10;
+    config.policy = policy;
+    config.seed = 17;
+    auto sampler = sampling::make_oasrs<Record>(config);
+    for (const auto& record : records) sampler.offer(record);
+    auto sample = sampler.take();
+    benchmark::DoNotOptimize(sample.strata.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_OasrsAllocationPolicy)
+    ->Arg(static_cast<int>(sampling::AllocationPolicy::kEqual))
+    ->Arg(static_cast<int>(sampling::AllocationPolicy::kProportional));
+
+}  // namespace
+
+BENCHMARK_MAIN();

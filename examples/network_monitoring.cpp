@@ -1,0 +1,62 @@
+// Network traffic monitoring (the paper's first case study, §6.2):
+// measure the total TCP / UDP / ICMP traffic per sliding window over a
+// NetFlow stream — approximately, at a fraction of the processing cost.
+//
+// This example uses the evaluation harness path (run_system) to compare the
+// Flink-based StreamApprox pipeline against the exact answer on the same
+// stream.
+#include <cstdio>
+
+#include "core/query.h"
+#include "core/systems.h"
+#include "workload/netflow.h"
+
+int main() {
+  using namespace streamapprox;
+
+  // Synthetic CAIDA-like NetFlow stream: 500k flows at 100k flows/s.
+  workload::NetFlowConfig netflow;
+  netflow.flows_per_sec = 100000.0;
+  const auto records = workload::generate_netflow(netflow, 500000,
+                                                  /*seed=*/2015);
+
+  core::SystemConfig config;
+  config.sampling_fraction = 0.4;
+  config.workers = 4;
+  config.window = {2'000'000, 1'000'000};  // 2s windows sliding by 1s
+  config.batch_interval_us = 500'000;
+
+  const auto result =
+      core::run_system(core::SystemKind::kFlinkApprox, records, config);
+  const auto exact = core::exact_window_results(records, config.window);
+
+  const core::QuerySpec query{core::Aggregation::kSum, /*per_stratum=*/true};
+  const auto approx_estimates = core::evaluate_windows(result.windows, query);
+  const auto exact_estimates = core::evaluate_windows(exact, query);
+
+  std::printf("Per-protocol traffic totals (bytes) per 2s window, sampled at "
+              "40%%:\n\n");
+  for (std::size_t i = 0; i < approx_estimates.size(); ++i) {
+    const auto& window = approx_estimates[i];
+    std::printf("window ending %.0fs:\n",
+                static_cast<double>(window.window_end_us) / 1e6);
+    for (const auto& [stratum, estimate] : window.groups) {
+      double exact_value = 0.0;
+      for (const auto& w : exact_estimates) {
+        if (w.window_end_us != window.window_end_us) continue;
+        for (const auto& [s, e] : w.groups) {
+          if (s == stratum) exact_value = e.estimate;
+        }
+      }
+      std::printf("  %-5s approx %14.0f +/- %12.0f   exact %14.0f\n",
+                  workload::protocol_name(
+                      static_cast<workload::Protocol>(stratum))
+                      .c_str(),
+                  estimate.estimate, estimate.error_bound(2.0), exact_value);
+    }
+  }
+  std::printf("\nThroughput: %.2fM flows/s over %zu windows "
+              "(ICMP, 1.5%% of flows, is never overlooked).\n",
+              result.throughput() / 1e6, approx_estimates.size());
+  return 0;
+}

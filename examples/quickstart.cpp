@@ -1,0 +1,66 @@
+// Quickstart: the smallest end-to-end StreamApprox program.
+//
+// Produces a synthetic 3-sub-stream Gaussian stream into the Kafka-like
+// broker, runs an approximate windowed MEAN query over it at a 20% sampling
+// fraction, and prints each window's estimate with its rigorous error bound
+// next to the exact answer.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/query.h"
+#include "core/stream_approx.h"
+#include "ingest/replay.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace streamapprox;
+
+  // 1. A deterministic input stream: the paper's §5.1 Gaussian mix at
+  //    30k items/s for 8 seconds of event time.
+  workload::SyntheticStream stream(workload::gaussian_substreams(30000.0),
+                                   /*seed=*/7);
+  const auto records = stream.generate(8.0);
+  const auto exact_windows = core::exact_window_results(
+      records, engine::WindowConfig{2'000'000, 1'000'000});
+
+  // 2. A broker topic fed by the replay tool (saturation mode).
+  ingest::Broker broker;
+  broker.create_topic("quickstart", /*partitions=*/3);
+  ingest::ReplayTool replay(broker, "quickstart", records, {});
+
+  // 3. StreamApprox: windowed MEAN, 20% sampling budget, 2s/1s windows.
+  core::StreamApproxConfig config;
+  config.topic = "quickstart";
+  config.query = {core::Aggregation::kMean, /*per_stratum=*/false};
+  config.budget = estimation::QueryBudget::fraction(0.20);
+  config.window = {2'000'000, 1'000'000};
+
+  core::StreamApprox system(broker, config);
+
+  std::printf("%-10s %-28s %-14s %-10s\n", "window", "approx (95% CI)",
+              "exact", "sampled");
+  const auto exact_estimates = core::evaluate_windows(
+      exact_windows, config.query);
+  std::size_t index = 0;
+  system.run([&](const core::WindowOutput& output) {
+    double exact = 0.0;
+    for (const auto& w : exact_estimates) {
+      if (w.window_end_us == output.estimate.window_end_us) {
+        exact = w.overall.estimate;
+      }
+    }
+    const auto& overall = output.estimate.overall;
+    std::printf("[%2zu] %4.0fs %10.2f +/- %-10.2f %12.2f %5.1f%%\n", index++,
+                static_cast<double>(output.estimate.window_end_us) / 1e6,
+                overall.estimate, overall.error_bound(2.0), exact,
+                100.0 * static_cast<double>(output.records_sampled) /
+                    static_cast<double>(output.records_seen));
+  });
+  replay.wait();
+
+  std::printf("\nEach window aggregated ~20%% of the records, and the exact "
+              "answer lies within the reported +/- bound.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Stratifying UNLABELED streams (the paper's §7-II extension): when data
+// items carry no source label, a pre-processing stratifier learns strata
+// from the values themselves — here an online 1-D k-means — and OASRS then
+// samples the learned strata. The example contrasts three estimators of the
+// stream mean at the same 5% budget:
+//   1. SRS (no strata)            — misses the rare, high-valued component;
+//   2. OASRS over learned strata  — recovers it;
+//   3. exact                      — ground truth.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sampling/oasrs.h"
+#include "sampling/scasrs.h"
+#include "stratify/stratifier.h"
+
+int main() {
+  using namespace streamapprox;
+  using engine::Record;
+
+  // An unlabeled mixture: 94% small values, 5% medium, 1% large — the large
+  // component dominates the true mean.
+  Rng rng(99);
+  std::vector<Record> records;
+  records.reserve(300000);
+  for (int i = 0; i < 300000; ++i) {
+    const double u = rng.uniform();
+    const double value = u < 0.94   ? rng.gaussian(10.0, 2.0)
+                         : u < 0.99 ? rng.gaussian(500.0, 40.0)
+                                    : rng.gaussian(20000.0, 900.0);
+    records.push_back(Record{0, value, 0});  // stratum UNKNOWN (all zero)
+  }
+  double exact = 0.0;
+  for (const auto& record : records) exact += record.value;
+  exact /= static_cast<double>(records.size());
+
+  // 1. SRS at 5%.
+  const auto srs = sampling::scasrs_sample(records, 0.05, rng);
+  double srs_mean = 0.0;
+  for (const auto& record : srs.items) srs_mean += record.value;
+  srs_mean /= static_cast<double>(srs.items.size());
+
+  // 2. k-means stratifier (k=3) + OASRS with the same total budget.
+  stratify::KMeansStratifier stratifier(3);
+  sampling::OasrsConfig config;
+  config.total_budget = records.size() / 20;
+  config.seed = 7;
+  auto sampler = sampling::make_oasrs<Record>(config);
+  for (const auto& record : records) {
+    sampler.offer(stratify::restratify(record, stratifier));
+  }
+  const auto sample = sampler.take();
+  double sum = 0.0;
+  double count = 0.0;
+  std::printf("learned strata (online k-means over values):\n");
+  for (const auto& stratum : sample.strata) {
+    RunningStats stats;
+    for (const auto& record : stratum.items) stats.add(record.value);
+    std::printf("  stratum %u: C=%llu items, sample mean %.1f, weight %.1f\n",
+                stratum.stratum,
+                static_cast<unsigned long long>(stratum.seen), stats.mean(),
+                stratum.weight);
+    sum += stats.sum() * stratum.weight;
+    count += static_cast<double>(stratum.seen);
+  }
+  const double oasrs_mean = sum / count;
+
+  std::printf("\nstream mean estimates at a 5%% budget:\n");
+  std::printf("  exact                     : %10.2f\n", exact);
+  std::printf("  SRS (unstratified)        : %10.2f  (%.2f%% off)\n",
+              srs_mean, 100.0 * relative_error(srs_mean, exact));
+  std::printf("  OASRS over learned strata : %10.2f  (%.2f%% off)\n",
+              oasrs_mean, 100.0 * relative_error(oasrs_mean, exact));
+  std::printf("\nThe learned stratification isolates the 1%% heavy "
+              "component, so its reservoir keeps it represented — SRS "
+              "leaves it to luck.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Timing utilities: wall-clock stopwatch, throughput meter, and a token
+// bucket used by the replay tool for rate-controlled stream injection.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace streamapprox {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the measurement.
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time in seconds since construction/restart.
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Counts events against wall-clock time to report a rate (items/second).
+class RateMeter {
+ public:
+  /// Records `n` processed items.
+  void add(std::uint64_t n) noexcept { count_ += n; }
+
+  /// Total items recorded.
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Items per second since construction.
+  double rate() const {
+    const double elapsed = watch_.seconds();
+    return elapsed > 0.0 ? static_cast<double>(count_) / elapsed : 0.0;
+  }
+
+  /// Seconds since construction.
+  double seconds() const { return watch_.seconds(); }
+
+ private:
+  Stopwatch watch_;
+  std::uint64_t count_ = 0;
+};
+
+/// Token bucket pacing events to a target rate; rate == 0 disables pacing
+/// (saturation mode, used for the throughput experiments where input is fed
+/// "until the system is saturated", §5.2).
+class TokenBucket {
+ public:
+  /// Creates a bucket refilling at `rate_per_sec` tokens/s with up to
+  /// `burst` accumulated tokens (defaults to one refill-second worth).
+  explicit TokenBucket(double rate_per_sec, double burst = 0.0)
+      : rate_(rate_per_sec),
+        burst_(burst > 0.0 ? burst : rate_per_sec),
+        tokens_(burst_),
+        last_(std::chrono::steady_clock::now()) {}
+
+  /// Acquires `n` tokens, sleeping as needed. No-op when rate == 0.
+  void acquire(double n = 1.0) {
+    if (rate_ <= 0.0) return;
+    refill();
+    while (tokens_ < n) {
+      const double deficit = n - tokens_;
+      const auto wait = std::chrono::duration<double>(deficit / rate_);
+      std::this_thread::sleep_for(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wait));
+      refill();
+    }
+    tokens_ -= n;
+  }
+
+  /// Non-blocking acquire; returns false when not enough tokens are banked.
+  bool try_acquire(double n = 1.0) {
+    if (rate_ <= 0.0) return true;
+    refill();
+    if (tokens_ < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+ private:
+  void refill() {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace streamapprox

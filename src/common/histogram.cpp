@@ -1,0 +1,105 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace streamapprox {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0.0) {
+  if (!(hi > lo) || buckets == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets >= 1");
+  }
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;  // fp edge case
+  buckets_[idx] += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.buckets_.size() != buckets_.size()) {
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0.0);
+  underflow_ = overflow_ = total_ = 0.0;
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ <= 0.0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_;
+  double cumulative = underflow_;
+  if (target <= cumulative) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (cumulative + buckets_[i] >= target) {
+      const double inside =
+          buckets_[i] > 0.0 ? (target - cumulative) / buckets_[i] : 0.0;
+      return bucket_lo(i) + inside * width_;
+    }
+    cumulative += buckets_[i];
+  }
+  return hi_;
+}
+
+double Histogram::l1_distance(const Histogram& other) const {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.buckets_.size() != buckets_.size()) {
+    throw std::invalid_argument("Histogram::l1_distance: shape mismatch");
+  }
+  if (total_ <= 0.0 || other.total_ <= 0.0) return 2.0;
+  double dist = std::abs(underflow_ / total_ - other.underflow_ / other.total_) +
+                std::abs(overflow_ / total_ - other.overflow_ / other.total_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    dist += std::abs(buckets_[i] / total_ - other.buckets_[i] / other.total_);
+  }
+  return dist;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  double peak = 0.0;
+  for (double b : buckets_) peak = std::max(peak, b);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto bar = peak > 0.0
+                         ? static_cast<std::size_t>(
+                               buckets_[i] / peak * static_cast<double>(width))
+                         : 0;
+    out << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+        << std::string(bar, '#') << " " << buckets_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace streamapprox

@@ -1,0 +1,68 @@
+// Fixed-width bucket histogram. Used (a) as an approximate linear query type
+// (paper §3.2 lists "histogram" among supported aggregations) and (b) by the
+// test suite to compare sampled vs. exact distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamapprox {
+
+/// Histogram over [lo, hi) with `buckets` equal-width bins plus underflow and
+/// overflow counters. Supports weighted increments so that stratified samples
+/// can be "statistically recreated" into a full-population histogram by adding
+/// each sampled item with its stratum weight W_i.
+class Histogram {
+ public:
+  /// Creates a histogram over [lo, hi) with the given number of bins
+  /// (at least 1). Throws std::invalid_argument on a degenerate range.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  /// Adds `weight` mass at value x (weight defaults to one observation).
+  void add(double x, double weight = 1.0) noexcept;
+
+  /// Merges compatible histograms (same range and bucket count). Throws
+  /// std::invalid_argument on shape mismatch.
+  void merge(const Histogram& other);
+
+  /// Clears all mass.
+  void reset() noexcept;
+
+  /// Total mass including under/overflow.
+  double total() const noexcept { return total_; }
+  /// Mass below `lo`.
+  double underflow() const noexcept { return underflow_; }
+  /// Mass at or above `hi`.
+  double overflow() const noexcept { return overflow_; }
+  /// Mass of bucket i.
+  double bucket(std::size_t i) const { return buckets_.at(i); }
+  /// Number of buckets.
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const noexcept;
+  /// Exclusive upper edge of bucket i.
+  double bucket_hi(std::size_t i) const noexcept;
+
+  /// Approximate quantile by linear interpolation within the containing
+  /// bucket; q in [0,1]. Returns lo for an empty histogram.
+  double quantile(double q) const noexcept;
+
+  /// L1 distance between normalised histograms (range/shape must match);
+  /// 0 = identical distributions, 2 = disjoint. Throws on shape mismatch.
+  double l1_distance(const Histogram& other) const;
+
+  /// Multi-line ASCII rendering for examples/bench output.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> buckets_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace streamapprox

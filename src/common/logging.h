@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe, writes to stderr, level settable at
+// runtime (tests silence it; benches run at Warn). No macros on the hot path:
+// callers check enabled() before formatting expensive messages.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace streamapprox {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level: messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global minimum level.
+LogLevel log_level() noexcept;
+
+/// True when messages at `level` would be emitted.
+bool log_enabled(LogLevel level) noexcept;
+
+/// Emits one line ("[LEVEL] component: message") to stderr, thread-safely.
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+/// Stream-style log statement builder:
+///   LogLine(LogLevel::kInfo, "broker") << "created topic " << name;
+/// The message is emitted when the temporary is destroyed.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(log_enabled(level)) {}
+
+  ~LogLine() {
+    if (enabled_) log_message(level_, component_, stream_.str());
+  }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace streamapprox

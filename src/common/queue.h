@@ -1,0 +1,183 @@
+// Inter-thread queues used by the engines and the ingest layer.
+//
+//  * BoundedQueue<T>  — mutex/condvar MPMC queue with blocking and
+//    non-blocking operations plus close() semantics; the broker and the
+//    batched engine use it.
+//  * SpscRing<T>      — single-producer single-consumer lock-free ring used
+//    for operator-to-operator channels in the pipelined engine, where the
+//    per-record hot path must not take a lock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace streamapprox {
+
+/// Blocking bounded multi-producer multi-consumer queue.
+///
+/// push blocks while full; pop blocks while empty. close() wakes all waiters:
+/// subsequent push calls return false, and pop drains the remaining elements
+/// then returns std::nullopt.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Creates a queue holding at most `capacity` elements (>= 1).
+  explicit BoundedQueue(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push; returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; std::nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Closes the queue and wakes all blocked producers/consumers.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// True once close() has been called.
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// Current number of queued elements.
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Lock-free single-producer single-consumer ring buffer.
+///
+/// Capacity is rounded up to a power of two. One slot is kept empty to
+/// distinguish full from empty, so the usable capacity is capacity-1.
+/// Producer calls try_push/close, consumer calls try_pop/drained; no other
+/// thread may touch either end.
+template <typename T>
+class SpscRing {
+ public:
+  /// Creates a ring able to buffer at least `min_capacity` elements.
+  explicit SpscRing(std::size_t min_capacity = 1024)
+      : buffer_(round_up(min_capacity + 1)), mask_(buffer_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side: enqueues unless the ring is full. Returns false when full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: dequeues if an element is available.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Producer signals end-of-stream.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  /// True when the producer closed the ring AND all elements were consumed.
+  bool drained() const {
+    return closed_.load(std::memory_order_acquire) &&
+           tail_.load(std::memory_order_acquire) ==
+               head_.load(std::memory_order_acquire);
+  }
+
+  /// True once close() has been called (elements may remain).
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Number of buffered elements (approximate under concurrency).
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace streamapprox

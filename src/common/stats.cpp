@@ -1,0 +1,67 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace streamapprox {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance_of(const std::vector<double>& xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - m) * (x - m);
+  return m2 / static_cast<double>(xs.size() - 1);
+}
+
+double quantile_of(std::vector<double> xs, double q) noexcept {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(xs.size() - 1) + 0.5);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx),
+                   xs.end());
+  return xs[idx];
+}
+
+double chi_square(const std::vector<double>& observed,
+                  const std::vector<double>& expected) noexcept {
+  double stat = 0.0;
+  const std::size_t n = std::min(observed.size(), expected.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (expected[i] <= 0.0) continue;
+    const double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+double relative_error(double approx, double exact) noexcept {
+  if (exact == 0.0) return std::abs(approx);
+  return std::abs(approx - exact) / std::abs(exact);
+}
+
+}  // namespace streamapprox

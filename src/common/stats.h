@@ -1,0 +1,84 @@
+// Numerically stable running statistics (Welford) and small helpers used by
+// the error-estimation module and by tests/benches to validate distributions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace streamapprox {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// This is the workhorse behind the per-stratum sample statistics s_i^2 of
+/// paper Eq. 7: each reservoir keeps one RunningStats over its *sampled*
+/// items, and the estimators read count/mean/variance from it.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  /// Removes all observations.
+  void reset() noexcept { *this = RunningStats{}; }
+
+  /// Number of observations.
+  std::uint64_t count() const noexcept { return n_; }
+  /// Sum of observations.
+  double sum() const noexcept { return sum_; }
+  /// Arithmetic mean (0 if empty).
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance s^2 (0 when n < 2) — paper Eq. 7.
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  /// Population variance (divides by n).
+  double population_variance() const noexcept {
+    return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  /// Sample standard deviation.
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Smallest observation (0 if empty).
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  /// Largest observation (0 if empty).
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& xs) noexcept;
+
+/// Unbiased sample variance of a vector (0 when fewer than two elements).
+double variance_of(const std::vector<double>& xs) noexcept;
+
+/// Exact quantile by copy-and-nth_element; q in [0,1]. Returns 0 for empty
+/// input.
+double quantile_of(std::vector<double> xs, double q) noexcept;
+
+/// Pearson chi-square statistic for observed vs expected counts; used by the
+/// sampler uniformity property tests.
+double chi_square(const std::vector<double>& observed,
+                  const std::vector<double>& expected) noexcept;
+
+/// Relative error |approx - exact| / |exact| — the paper's "accuracy loss"
+/// metric (§6.1). Returns |approx| when exact == 0.
+double relative_error(double approx, double exact) noexcept;
+
+}  // namespace streamapprox

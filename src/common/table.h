@@ -1,0 +1,35 @@
+// ASCII table renderer for the benchmark harness. Every figure-reproduction
+// binary prints its result matrix through this so bench_output.txt reads like
+// the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace streamapprox {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  /// Creates a table titled `title` with the given column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders the full table (title, rule, header, rows).
+  std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamapprox

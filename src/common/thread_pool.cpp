@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace streamapprox {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_slices(count, size(),
+                  [&fn](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) fn(i);
+                  });
+}
+
+void ThreadPool::parallel_slices(
+    std::size_t count, std::size_t slices,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  slices = std::max<std::size_t>(1, std::min(slices, count));
+  if (slices == 1) {
+    fn(0, 0, count);
+    return;
+  }
+  const std::size_t chunk = (count + slices - 1) / slices;
+  std::atomic<std::size_t> pending{slices};
+  std::promise<void> done;
+  auto future = done.get_future();
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    submit([&, s, begin, end] {
+      fn(s, begin, end);
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done.set_value();
+      }
+    });
+  }
+  future.wait();
+}
+
+}  // namespace streamapprox

@@ -1,0 +1,62 @@
+// Fixed-size worker pool used by the batched engine's stage scheduler.
+//
+// Semantics mirror what the micro-batch model needs: submit() enqueues an
+// arbitrary task; parallel_for() slices an index range across the workers and
+// BLOCKS until every slice completed — this barrier is precisely the per-stage
+// synchronisation of a Spark job, and is what makes shuffle-heavy operations
+// (Spark STS's groupBy) expensive in our reproduction, as in the paper.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace streamapprox {
+
+/// A joinable fixed-size thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1; 0 means hardware_concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Stops accepting work, drains the queue, joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, count) across the pool and waits for all
+  /// invocations to finish (stage barrier). Work is divided into contiguous
+  /// slices, one per worker, to keep per-task overhead negligible.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(slice_index, begin, end) for `slices` contiguous sub-ranges of
+  /// [0, count) and waits for completion. Useful when the callee wants one
+  /// context object per slice (e.g. per-partition samplers).
+  void parallel_slices(
+      std::size_t count, std::size_t slices,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace streamapprox

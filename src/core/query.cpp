@@ -1,0 +1,139 @@
+#include "core/query.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "estimation/estimators.h"
+
+namespace streamapprox::core {
+namespace {
+
+using estimation::ApproxResult;
+using estimation::StratumSummary;
+
+ApproxResult aggregate(const std::vector<StratumSummary>& cells,
+                       Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kSum:
+      return estimation::estimate_sum(cells);
+    case Aggregation::kMean:
+      return estimation::estimate_mean(cells);
+    case Aggregation::kCount:
+      return estimation::estimate_count(cells);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<WindowEstimate> evaluate_windows(
+    const std::vector<engine::WindowResult>& windows,
+    const QuerySpec& query) {
+  std::vector<WindowEstimate> estimates;
+  estimates.reserve(windows.size());
+  for (const auto& window : windows) {
+    WindowEstimate estimate;
+    estimate.window_start_us = window.window_start_us;
+    estimate.window_end_us = window.window_end_us;
+    estimate.overall = aggregate(window.cells, query.aggregation);
+    if (query.per_stratum) {
+      // Partition the cells by stratum, keeping deterministic (sorted) group
+      // order, then estimate each group independently.
+      std::map<sampling::StratumId, std::vector<StratumSummary>> by_stratum;
+      for (const auto& cell : window.cells) {
+        by_stratum[cell.stratum].push_back(cell);
+      }
+      estimate.groups.reserve(by_stratum.size());
+      for (const auto& [stratum, cells] : by_stratum) {
+        estimate.groups.emplace_back(stratum,
+                                     aggregate(cells, query.aggregation));
+      }
+    }
+    estimates.push_back(std::move(estimate));
+  }
+  return estimates;
+}
+
+std::vector<engine::WindowResult> exact_window_results(
+    const std::vector<engine::Record>& records,
+    const engine::WindowConfig& window) {
+  engine::SlidingWindowAssembler assembler(window);
+  std::vector<engine::WindowResult> windows;
+
+  const auto ranges = engine::split_by_interval(records, window.slide_us);
+  for (const auto& [begin, end] : ranges) {
+    std::unordered_map<sampling::StratumId, StratumSummary> cells;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& record = records[i];
+      auto& cell = cells[record.stratum];
+      cell.stratum = record.stratum;
+      ++cell.seen;
+      ++cell.sampled;
+      cell.sum += record.value;
+      cell.sum_sq += record.value * record.value;
+    }
+    std::vector<StratumSummary> slide_cells;
+    slide_cells.reserve(cells.size());
+    for (auto& [id, cell] : cells) slide_cells.push_back(cell);
+    if (auto result = assembler.push_slide(std::move(slide_cells))) {
+      windows.push_back(std::move(*result));
+    }
+  }
+  return windows;
+}
+
+double mean_accuracy_loss(const std::vector<WindowEstimate>& approx,
+                          const std::vector<WindowEstimate>& exact,
+                          const QuerySpec& query) {
+  std::unordered_map<std::int64_t, const WindowEstimate*> exact_by_end;
+  exact_by_end.reserve(exact.size());
+  for (const auto& w : exact) exact_by_end[w.window_end_us] = &w;
+
+  double total_loss = 0.0;
+  std::size_t terms = 0;
+  for (const auto& w : approx) {
+    auto it = exact_by_end.find(w.window_end_us);
+    if (it == exact_by_end.end()) continue;
+    const WindowEstimate& truth = *it->second;
+    if (query.per_stratum) {
+      std::unordered_map<sampling::StratumId, double> exact_groups;
+      for (const auto& [stratum, result] : truth.groups) {
+        exact_groups[stratum] = result.estimate;
+      }
+      std::unordered_map<sampling::StratumId, double> approx_groups;
+      for (const auto& [stratum, result] : w.groups) {
+        approx_groups[stratum] = result.estimate;
+      }
+      // Every group present in the ground truth counts; a group the sampled
+      // system missed entirely contributes its full relative error of 1.
+      for (const auto& [stratum, exact_value] : exact_groups) {
+        if (exact_value == 0.0) continue;
+        const auto found = approx_groups.find(stratum);
+        const double approx_value =
+            found == approx_groups.end() ? 0.0 : found->second;
+        total_loss += relative_error(approx_value, exact_value);
+        ++terms;
+      }
+    } else {
+      if (truth.overall.estimate == 0.0) continue;
+      total_loss += relative_error(w.overall.estimate, truth.overall.estimate);
+      ++terms;
+    }
+  }
+  return terms == 0 ? 0.0 : total_loss / static_cast<double>(terms);
+}
+
+std::string aggregation_name(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kSum:
+      return "SUM";
+    case Aggregation::kMean:
+      return "MEAN";
+    case Aggregation::kCount:
+      return "COUNT";
+  }
+  return "?";
+}
+
+}  // namespace streamapprox::core

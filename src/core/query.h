@@ -1,0 +1,62 @@
+// The approximate linear-query model (paper §3.2: "our OASRS sampling
+// algorithm supports any types of approximate linear queries ... sum,
+// average, count, histogram"). A query turns a window's sample cells into
+// an overall estimate and, optionally, per-stratum group estimates (the
+// case studies group by protocol / borough).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/record.h"
+#include "engine/window.h"
+#include "estimation/approx_result.h"
+
+namespace streamapprox::core {
+
+/// Supported aggregations.
+enum class Aggregation { kSum, kMean, kCount };
+
+/// A streaming query: an aggregation, optionally grouped by stratum.
+struct QuerySpec {
+  Aggregation aggregation = Aggregation::kMean;
+  /// When true, per-stratum results are produced as well (e.g. "total bytes
+  /// per protocol", "average distance per borough").
+  bool per_stratum = false;
+};
+
+/// The evaluated result of one window.
+struct WindowEstimate {
+  std::int64_t window_start_us = 0;
+  std::int64_t window_end_us = 0;
+  estimation::ApproxResult overall;
+  /// Per-stratum estimates (present when QuerySpec::per_stratum).
+  std::vector<std::pair<sampling::StratumId, estimation::ApproxResult>>
+      groups;
+};
+
+/// Evaluates the query over every completed window of a run.
+std::vector<WindowEstimate> evaluate_windows(
+    const std::vector<engine::WindowResult>& windows, const QuerySpec& query);
+
+/// Computes the EXACT window results for the same stream — the ground truth
+/// used for the paper's accuracy-loss metric (§6.1). Direct single pass over
+/// the records (no engine, no sampling); the produced cells have
+/// seen == sampled and weight 1.
+std::vector<engine::WindowResult> exact_window_results(
+    const std::vector<engine::Record>& records,
+    const engine::WindowConfig& window);
+
+/// Accuracy loss |approx - exact| / exact (paper §6.1), averaged over all
+/// windows matched by end time and — for per-stratum queries — over all
+/// groups. Windows missing from either side are skipped; returns 0 when
+/// nothing matches.
+double mean_accuracy_loss(const std::vector<WindowEstimate>& approx,
+                          const std::vector<WindowEstimate>& exact,
+                          const QuerySpec& query);
+
+/// Name of an aggregation ("SUM", "MEAN", "COUNT").
+std::string aggregation_name(Aggregation aggregation);
+
+}  // namespace streamapprox::core

@@ -1,0 +1,196 @@
+#include "core/stream_approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "engine/window.h"
+#include "estimation/estimators.h"
+#include "estimation/histogram_query.h"
+#include "sampling/oasrs.h"
+
+namespace streamapprox::core {
+namespace {
+
+using Sampler =
+    decltype(sampling::make_oasrs<engine::Record>(sampling::OasrsConfig{}));
+
+}  // namespace
+
+StreamApprox::StreamApprox(ingest::Broker& broker, StreamApproxConfig config)
+    : broker_(broker), config_(std::move(config)) {
+  // Validated eagerly so misconfiguration fails at construction.
+  engine::SlidingWindowAssembler probe(config_.window);
+  (void)probe;
+  broker_.topic(config_.topic);  // throws if missing
+}
+
+void StreamApprox::run(
+    const std::function<void(const WindowOutput&)>& on_window) {
+  ingest::Consumer consumer(broker_, config_.topic);
+  engine::SlidingWindowAssembler assembler(config_.window);
+
+  estimation::CostFunction cost_function;
+  estimation::FeedbackConfig feedback_config;
+  feedback_config.target_relative_error =
+      config_.budget.kind == estimation::BudgetKind::kRelativeError
+          ? config_.budget.value
+          : 0.01;
+  estimation::FeedbackController feedback(feedback_config, 1024);
+
+  // Initial budget before any arrival statistics exist; the cost function /
+  // feedback loop re-tunes it from the first completed slide on.
+  slide_budget_ = 1024;
+
+  // The broker delivers each partition in order, but poll() interleaves
+  // partitions, so records are only APPROXIMATELY time-ordered globally.
+  // Each event-time slide therefore keeps its own OASRS sampler, and a
+  // slide is closed only when the watermark — the lowest per-partition
+  // high-water timestamp — passes its end (the standard low-watermark rule;
+  // our Kafka-like producer routes by stratum, so strata double as
+  // partitions for watermark purposes).
+  std::map<std::int64_t, std::unique_ptr<Sampler>> open_slides;
+  std::unordered_map<sampling::StratumId, std::int64_t> partition_clock;
+  std::int64_t next_to_close = 0;  // slide index to close next
+  std::uint64_t last_slide_seen = 0;
+  std::vector<estimation::StratumSummary> last_cells;
+
+  const std::int64_t slide_us = config_.window.slide_us;
+
+  const auto sampler_for = [&](std::int64_t slide) -> Sampler& {
+    auto it = open_slides.find(slide);
+    if (it == open_slides.end()) {
+      sampling::OasrsConfig oasrs;
+      oasrs.seed = config_.seed + static_cast<std::uint64_t>(slide) * 1099511628211ULL;
+      oasrs.total_budget = slide_budget_;
+      it = open_slides
+               .emplace(slide, std::make_unique<Sampler>(
+                                   sampling::make_oasrs<engine::Record>(oasrs)))
+               .first;
+    }
+    return *it->second;
+  };
+
+  // Per-slide weighted histograms for the optional HISTOGRAM query; the
+  // window histogram is the merge of its slides' histograms.
+  std::deque<Histogram> slide_histograms;
+  const std::size_t slides_per_window = config_.window.slides_per_window();
+
+  const auto close_slide = [&](std::int64_t slide) {
+    std::vector<estimation::StratumSummary> cells;
+    std::uint64_t seen = 0;
+    std::uint64_t sampled = 0;
+    auto it = open_slides.find(slide);
+    if (it != open_slides.end()) {
+      auto sample = it->second->take();
+      if (config_.histogram) {
+        slide_histograms.push_back(estimation::weighted_histogram(
+            sample, engine::RecordValue{}, *config_.histogram));
+      }
+      cells.reserve(sample.strata.size());
+      for (const auto& stratum : sample.strata) {
+        estimation::StratumSummary cell;
+        cell.stratum = stratum.stratum;
+        cell.seen = stratum.seen;
+        cell.sampled = stratum.items.size();
+        cell.weight = stratum.weight;
+        for (const auto& record : stratum.items) {
+          const double value = config_.query_cost.charge(record.value);
+          cell.sum += value;
+          cell.sum_sq += value * value;
+        }
+        seen += cell.seen;
+        sampled += cell.sampled;
+        cells.push_back(cell);
+      }
+      open_slides.erase(it);
+    } else if (config_.histogram) {
+      slide_histograms.emplace_back(config_.histogram->lo,
+                                    config_.histogram->hi,
+                                    config_.histogram->buckets);
+    }
+    if (config_.histogram && slide_histograms.size() > slides_per_window) {
+      slide_histograms.pop_front();
+    }
+    last_slide_seen = seen;
+    last_cells = cells;
+
+    bool fed_back = false;
+    if (auto window = assembler.push_slide(std::move(cells))) {
+      WindowOutput output;
+      for (const auto& cell : window->cells) {
+        output.records_seen += cell.seen;
+        output.records_sampled += cell.sampled;
+      }
+      auto estimates = evaluate_windows({*window}, config_.query);
+      output.estimate = std::move(estimates.front());
+      output.budget_in_force = slide_budget_;
+      if (config_.histogram) {
+        Histogram merged(config_.histogram->lo, config_.histogram->hi,
+                         config_.histogram->buckets);
+        for (const auto& histogram : slide_histograms) {
+          merged.merge(histogram);
+        }
+        output.histogram = std::move(merged);
+      }
+      on_window(output);
+
+      // Adaptive feedback (§4.2): with an accuracy budget, grow/shrink the
+      // sample size from the observed error bound.
+      if (config_.budget.kind == estimation::BudgetKind::kRelativeError) {
+        const double bound =
+            output.estimate.overall.relative_bound(config_.z);
+        slide_budget_ = feedback.update(bound);
+        fed_back = true;
+      }
+    }
+    if (!fed_back &&
+        config_.budget.kind != estimation::BudgetKind::kRelativeError) {
+      // Non-accuracy budgets: re-derive the sample size from the cost
+      // function using the freshest arrival statistics.
+      slide_budget_ = std::max<std::size_t>(
+          1, cost_function.sample_size(config_.budget, last_slide_seen,
+                                       last_cells));
+    }
+  };
+
+  for (;;) {
+    auto records = consumer.poll(config_.poll_batch, /*timeout_ms=*/50);
+    if (records.empty()) {
+      if (consumer.exhausted()) break;
+      continue;
+    }
+    for (const auto& record : records) {
+      const std::int64_t slide = record.event_time_us / slide_us;
+      if (slide < next_to_close) continue;  // late beyond watermark: dropped
+      sampler_for(slide).offer(record);
+      auto& clock = partition_clock[record.stratum];
+      clock = std::max(clock, record.event_time_us);
+    }
+    // Watermark = slowest partition's high-water mark.
+    std::int64_t watermark = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [stratum, clock] : partition_clock) {
+      watermark = std::min(watermark, clock);
+    }
+    if (partition_clock.empty()) continue;
+    while (static_cast<std::int64_t>((next_to_close + 1)) * slide_us <=
+           watermark) {
+      close_slide(next_to_close);
+      ++next_to_close;
+    }
+  }
+  // Input exhausted: flush every remaining open slide in order.
+  while (!open_slides.empty()) {
+    const std::int64_t slide = open_slides.begin()->first;
+    while (next_to_close < slide) {
+      close_slide(next_to_close);  // empty slides advance the assembler
+      ++next_to_close;
+    }
+    close_slide(slide);
+    next_to_close = slide + 1;
+  }
+}
+
+}  // namespace streamapprox::core

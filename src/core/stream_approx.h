@@ -1,0 +1,88 @@
+// The StreamApprox system facade — the component diagram of paper Fig. 1/3
+// wired together for live operation: a Kafka-like topic feeds the sampling
+// module (OASRS); the virtual cost function translates the user's query
+// budget into a sample size; the error-estimation module computes rigorous
+// error bounds per window; and the adaptive feedback loop re-tunes the
+// sample size whenever the bound exceeds the accuracy target.
+//
+// This is the public API a downstream user programs against (see
+// examples/quickstart.cpp); the evaluation harness in systems.h bypasses the
+// live broker for reproducible saturation measurements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/query.h"
+#include "engine/query_cost.h"
+#include "estimation/cost_function.h"
+#include "estimation/feedback.h"
+#include "estimation/histogram_query.h"
+#include "ingest/broker.h"
+
+namespace streamapprox::core {
+
+/// Facade configuration.
+struct StreamApproxConfig {
+  /// Broker topic to consume.
+  std::string topic;
+  /// The streaming query to execute.
+  QuerySpec query{};
+  /// The user's query budget (fraction / latency / tokens / accuracy).
+  estimation::QueryBudget budget = estimation::QueryBudget::fraction(0.6);
+  /// Sliding-window geometry.
+  engine::WindowConfig window{};
+  /// How many records to pull per consumer poll.
+  std::size_t poll_batch = 4096;
+  /// Per-record query cost model.
+  engine::QueryCost query_cost{};
+  /// Confidence (in standard deviations) used when reporting error bounds
+  /// and when driving the feedback loop; the paper's default is 2 (95 %).
+  double z = 2.0;
+  /// Optional approximate HISTOGRAM query (§3.2): when set, every window
+  /// output carries a weighted histogram of the sampled values estimating
+  /// the full-population value distribution.
+  std::optional<estimation::HistogramSpec> histogram;
+  /// RNG seed.
+  std::uint64_t seed = 2017;
+};
+
+/// Per-window output delivered to the user: the estimate with its error
+/// bound plus the sampling effort that produced it.
+struct WindowOutput {
+  WindowEstimate estimate;
+  std::uint64_t records_seen = 0;     ///< Σ C_i in the window
+  std::uint64_t records_sampled = 0;  ///< Σ Y_i in the window
+  std::size_t budget_in_force = 0;    ///< per-slide sample budget used
+  /// Population-scale value histogram (present when the config asked for
+  /// one): bucket masses estimate full-population counts.
+  std::optional<Histogram> histogram;
+};
+
+/// The approximate stream-analytics system.
+class StreamApprox {
+ public:
+  /// Binds to a broker topic. The topic must already exist.
+  StreamApprox(ingest::Broker& broker, StreamApproxConfig config);
+
+  /// Consumes the topic until it is exhausted (sealed and fully read),
+  /// invoking `on_window` for every completed sliding window. Slides are
+  /// event-time based (record timestamps), so results are independent of
+  /// consumption speed.
+  void run(const std::function<void(const WindowOutput&)>& on_window);
+
+  /// The per-slide sample budget currently in force (adapted over time when
+  /// the budget kind is kRelativeError).
+  std::size_t current_budget() const noexcept { return slide_budget_; }
+
+ private:
+  ingest::Broker& broker_;
+  StreamApproxConfig config_;
+  std::size_t slide_budget_ = 0;
+};
+
+}  // namespace streamapprox::core

@@ -1,0 +1,85 @@
+// The six systems of the paper's evaluation (§5, Figures 4-10):
+//
+//   Flink-based StreamApprox   pipelined engine + OASRS operator
+//   Spark-based StreamApprox   batched engine, OASRS before RDD formation
+//   Spark-based SRS            batched engine, distributed ScaSRS per batch
+//   Spark-based STS            batched engine, shuffle groupBy + per-stratum
+//                              SRS (sampleByKeyExact)
+//   Native Spark               batched engine, no sampling (exact)
+//   Native Flink               pipelined engine, no sampling (exact)
+//
+// run_system executes one of them over a pre-generated, event-time-sorted
+// record stream in saturation mode and returns the completed windows plus
+// wall-clock throughput — the measurement methodology of §6.1.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/batched/micro_batch.h"
+#include "engine/query_cost.h"
+#include "engine/record.h"
+#include "engine/window.h"
+
+namespace streamapprox::core {
+
+/// The evaluated system variants.
+enum class SystemKind {
+  kFlinkApprox,
+  kSparkApprox,
+  kSparkSRS,
+  kSparkSTS,
+  kNativeSpark,
+  kNativeFlink,
+};
+
+/// All six, in the paper's legend order.
+inline constexpr SystemKind kAllSystems[] = {
+    SystemKind::kFlinkApprox, SystemKind::kSparkApprox,
+    SystemKind::kSparkSRS,    SystemKind::kSparkSTS,
+    SystemKind::kNativeSpark, SystemKind::kNativeFlink,
+};
+
+/// Paper-style display name ("Flink-based StreamApprox", ...).
+std::string system_name(SystemKind kind);
+
+/// True for the two no-sampling baselines.
+bool is_native(SystemKind kind);
+
+/// True for the two systems running on the batched (Spark-like) engine
+/// micro-batch path... including the native Spark baseline.
+bool is_batched(SystemKind kind);
+
+/// Execution configuration shared by all systems.
+struct SystemConfig {
+  /// Sampling fraction f in (0,1]; ignored by the native systems.
+  double sampling_fraction = 0.6;
+  /// Worker threads: executor cores for the batched engine, operator
+  /// parallelism for the pipelined engine.
+  std::size_t workers = 4;
+  /// RDD partitions per micro-batch (0 => 2 * workers).
+  std::size_t partitions = 0;
+  /// Micro-batch interval (batched engine only); must divide the window
+  /// slide.
+  std::int64_t batch_interval_us = 500'000;
+  /// Sliding-window geometry (paper default 10 s / 5 s).
+  engine::WindowConfig window{};
+  /// Per-record query cost (see engine/query_cost.h).
+  engine::QueryCost query_cost{32};
+  /// Per-stage driver dispatch overhead of the batched engine.
+  std::chrono::microseconds stage_overhead{500};
+  /// Use sampleByKeyExact (ScaSRS) inside STS; false = sampleByKey
+  /// (per-stratum Bernoulli).
+  bool sts_exact = true;
+  /// RNG seed for all sampling decisions.
+  std::uint64_t seed = 42;
+};
+
+/// Runs one system over the stream and returns windows + throughput.
+engine::batched::StreamRunResult run_system(
+    SystemKind kind, const std::vector<engine::Record>& records,
+    const SystemConfig& config);
+
+}  // namespace streamapprox::core

@@ -1,0 +1,31 @@
+#include "engine/batched/scheduler.h"
+
+#include <thread>
+
+namespace streamapprox::engine::batched {
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(config), pool_(config.workers == 0 ? 1 : config.workers) {
+  if (config_.workers == 0) config_.workers = 1;
+}
+
+void Scheduler::run_stage(std::size_t tasks,
+                          const std::function<void(std::size_t)>& fn) {
+  ++stages_run_;
+  if (config_.stage_overhead.count() > 0) {
+    std::this_thread::sleep_for(config_.stage_overhead);
+  }
+  if (tasks == 0) return;
+  pool_.parallel_slices(tasks, tasks,
+                        [&fn](std::size_t, std::size_t begin, std::size_t) {
+                          fn(begin);
+                        });
+}
+
+void Scheduler::run_slices(
+    std::size_t count, std::size_t slices,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  pool_.parallel_slices(count, slices, fn);
+}
+
+}  // namespace streamapprox::engine::batched

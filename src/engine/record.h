@@ -1,0 +1,37 @@
+// The stream data item flowing through every engine, sampler and workload in
+// this repository. Equivalent to one Kafka message payload in the paper's
+// deployment (Fig. 1): a numeric measurement tagged with its sub-stream
+// (stratum) and event time.
+#pragma once
+
+#include <cstdint>
+
+#include "sampling/sample.h"
+
+namespace streamapprox::engine {
+
+/// One stream data item.
+struct Record {
+  /// Sub-stream / stratum id (data source, protocol, borough, ...).
+  sampling::StratumId stratum = 0;
+  /// The measured value the queries aggregate (flow bytes, trip miles, ...).
+  double value = 0.0;
+  /// Event timestamp in microseconds since stream start.
+  std::int64_t event_time_us = 0;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// Extracts a record's stratum — the KeyFn used across samplers.
+struct RecordStratum {
+  sampling::StratumId operator()(const Record& r) const noexcept {
+    return r.stratum;
+  }
+};
+
+/// Extracts a record's value — the ValueFn used by estimators.
+struct RecordValue {
+  double operator()(const Record& r) const noexcept { return r.value; }
+};
+
+}  // namespace streamapprox::engine

@@ -1,0 +1,64 @@
+#include "engine/window.h"
+
+#include <stdexcept>
+
+#include "engine/record.h"
+
+namespace streamapprox::engine {
+
+SlidingWindowAssembler::SlidingWindowAssembler(WindowConfig config)
+    : config_(config), slides_per_window_(config.slides_per_window()) {
+  if (config.slide_us <= 0 || config.size_us <= 0 ||
+      config.size_us % config.slide_us != 0 ||
+      config.slide_us > config.size_us) {
+    throw std::invalid_argument(
+        "SlidingWindowAssembler: need 0 < slide <= size, size % slide == 0");
+  }
+}
+
+std::optional<WindowResult> SlidingWindowAssembler::push_slide(
+    std::vector<estimation::StratumSummary> cells) {
+  recent_.push_back(std::move(cells));
+  if (recent_.size() > slides_per_window_) recent_.pop_front();
+  const std::size_t slide = slide_index_++;
+  if (recent_.size() < slides_per_window_) return std::nullopt;
+
+  WindowResult window;
+  window.window_end_us =
+      static_cast<std::int64_t>(slide + 1) * config_.slide_us;
+  window.window_start_us = window.window_end_us - config_.size_us;
+  std::size_t total = 0;
+  for (const auto& slide_cells : recent_) total += slide_cells.size();
+  window.cells.reserve(total);
+  for (const auto& slide_cells : recent_) {
+    window.cells.insert(window.cells.end(), slide_cells.begin(),
+                        slide_cells.end());
+  }
+  return window;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_by_interval(
+    const std::vector<Record>& records, std::int64_t interval_us) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (interval_us <= 0) {
+    ranges.emplace_back(0, records.size());
+    return ranges;
+  }
+  std::size_t begin = 0;
+  std::int64_t boundary = interval_us;
+  for (std::size_t i = 0; i <= records.size(); ++i) {
+    const bool at_end = i == records.size();
+    while (!at_end && records[i].event_time_us >= boundary) {
+      ranges.emplace_back(begin, i);
+      begin = i;
+      boundary += interval_us;
+    }
+    if (at_end) {
+      ranges.emplace_back(begin, records.size());
+      break;
+    }
+  }
+  return ranges;
+}
+
+}  // namespace streamapprox::engine

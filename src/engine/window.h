@@ -1,0 +1,78 @@
+// Time-based sliding-window support shared by both stream processing models
+// (paper §2.2: "both stream processing models support the time-based sliding
+// window computation").
+//
+// Windows are aligned to multiples of the slide interval. The engines produce
+// per-slide (or per-batch) *cells* — independent per-stratum sample summaries
+// — and the SlidingWindowAssembler combines the last `size/slide` slides into
+// a window result. Keeping cells separate (instead of merging same-stratum
+// summaries across slides) keeps the Eq. 6/9 variance estimates exact even
+// when sampling rates differ between slides.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "estimation/estimators.h"
+
+namespace streamapprox::engine {
+
+/// One emitted window: all sample cells whose slide fell inside the window.
+struct WindowResult {
+  std::int64_t window_start_us = 0;  ///< inclusive event-time start
+  std::int64_t window_end_us = 0;    ///< exclusive event-time end
+  /// Per-(slide × stratum × worker) sample summaries; estimators treat each
+  /// as an independently sampled cell.
+  std::vector<estimation::StratumSummary> cells;
+};
+
+/// Sliding-window configuration; the paper's defaults are size 10 s,
+/// slide 5 s (§5.7, §6.1).
+struct WindowConfig {
+  std::int64_t size_us = 10'000'000;
+  std::int64_t slide_us = 5'000'000;
+
+  /// Number of slides per window (size must be a positive multiple of
+  /// slide; enforced by the assembler).
+  std::size_t slides_per_window() const noexcept {
+    return slide_us > 0 ? static_cast<std::size_t>(size_us / slide_us) : 0;
+  }
+};
+
+/// Builds full windows from consecutive slide cell-vectors.
+class SlidingWindowAssembler {
+ public:
+  /// Creates an assembler; throws std::invalid_argument unless
+  /// 0 < slide <= size and size % slide == 0.
+  explicit SlidingWindowAssembler(WindowConfig config);
+
+  /// Pushes the cells of the next slide (slide i covers event time
+  /// [i*slide, (i+1)*slide)). Returns the completed window ending at this
+  /// slide, or nullopt while the very first window is still filling.
+  std::optional<WindowResult> push_slide(
+      std::vector<estimation::StratumSummary> cells);
+
+  /// Number of slides pushed so far.
+  std::size_t slides_pushed() const noexcept { return slide_index_; }
+
+  /// The configuration in force.
+  const WindowConfig& config() const noexcept { return config_; }
+
+ private:
+  WindowConfig config_;
+  std::size_t slides_per_window_;
+  std::size_t slide_index_ = 0;
+  std::deque<std::vector<estimation::StratumSummary>> recent_;
+};
+
+/// Splits an event-time-sorted record span into consecutive interval ranges
+/// of `interval_us` (used by the micro-batch runner to form batches and by
+/// the pipelined runner to detect slide boundaries). Returned pairs are
+/// [begin, end) indices into `records`; empty intervals produce empty ranges
+/// so downstream indices stay aligned with wall-clock intervals.
+std::vector<std::pair<std::size_t, std::size_t>> split_by_interval(
+    const std::vector<struct Record>& records, std::int64_t interval_us);
+
+}  // namespace streamapprox::engine

@@ -1,0 +1,52 @@
+// The `output ± error bound` type every StreamApprox query produces
+// (paper §3.1 last step and §3.3).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace streamapprox::estimation {
+
+/// Closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// True when x lies within the interval.
+  bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+  /// Interval width.
+  double width() const noexcept { return hi - lo; }
+};
+
+/// An approximate query output with its estimated variance, reported as
+/// `estimate ± z·stddev` for the chosen confidence (68-95-99.7 rule, §3.3).
+struct ApproxResult {
+  double estimate = 0.0;      ///< point estimate (e.g. Eq. 3 SUM)
+  double variance = 0.0;      ///< estimated Var of the estimate (Eq. 6 / 9)
+  std::uint64_t population = 0;  ///< Σ C_i items the estimate speaks for
+  std::uint64_t sample_size = 0; ///< Σ Y_i items actually aggregated
+
+  /// Standard deviation of the estimate.
+  double stddev() const noexcept { return std::sqrt(variance); }
+
+  /// Half-width of the confidence interval at z standard deviations
+  /// (z = 1, 2, 3 → 68 %, 95 %, 99.7 %).
+  double error_bound(double z = 2.0) const noexcept { return z * stddev(); }
+
+  /// Error bound as a fraction of the estimate (0 when the estimate is 0).
+  double relative_bound(double z = 2.0) const noexcept {
+    return estimate != 0.0 ? std::abs(error_bound(z) / estimate) : 0.0;
+  }
+
+  /// The confidence interval at z standard deviations.
+  Interval interval(double z = 2.0) const noexcept {
+    const double bound = error_bound(z);
+    return {estimate - bound, estimate + bound};
+  }
+
+  /// "value ± bound" rendering used by examples and benches.
+  std::string to_string(double z = 2.0) const;
+};
+
+}  // namespace streamapprox::estimation

@@ -1,0 +1,30 @@
+// Normal/Student-t critical values for turning variances into confidence
+// intervals. The paper uses the 68-95-99.7 rule (z = 1, 2, 3); we additionally
+// support arbitrary confidence levels through an inverse-normal-CDF
+// approximation, and a t correction for very small samples.
+#pragma once
+
+#include <cstdint>
+
+namespace streamapprox::estimation {
+
+/// z such that P(|N(0,1)| <= z) == confidence, for confidence in (0, 1).
+/// Uses Acklam's rational approximation of the normal quantile (|error| <
+/// 1.15e-9, far below sampling noise). confidence outside (0,1) is clamped.
+double z_value(double confidence);
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+
+/// Student-t critical value for a two-sided interval at `confidence` with
+/// `dof` degrees of freedom. Uses the Cornish–Fisher expansion around the
+/// normal quantile — within ~1 % of table values for dof >= 3 and converging
+/// to z as dof grows; adequate for widening small-sample intervals.
+double t_value(double confidence, std::uint64_t dof);
+
+/// The paper's three canonical z values.
+inline constexpr double kZ68 = 1.0;
+inline constexpr double kZ95 = 2.0;
+inline constexpr double kZ997 = 3.0;
+
+}  // namespace streamapprox::estimation

@@ -1,0 +1,86 @@
+// The "virtual cost function" of paper §2.3/§7: translates a user-specified
+// query budget into a per-interval sample size. The paper assumes such a
+// function exists; we implement the concrete mechanisms §7 sketches —
+// a plain sampling fraction, a latency budget over a calibrated throughput
+// model, a Pulsar-style resource-token budget, and an accuracy budget that
+// inverts the Eq. 6/9 variance formulas using the previous interval's
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "estimation/estimators.h"
+
+namespace streamapprox::estimation {
+
+/// What the user constrains; mirrors §2.1 "latency/throughput guarantees,
+/// available computing resources, or the accuracy level of query results".
+enum class BudgetKind {
+  kSampleFraction,   ///< directly: keep `value` in (0,1] of the stream
+  kLatencyMs,        ///< finish each interval's job within `value` ms
+  kResourceTokens,   ///< spend at most `value` processing tokens per interval
+  kRelativeError,    ///< 95%-confidence relative error of SUM <= `value`
+};
+
+/// A query budget: a kind plus its magnitude.
+struct QueryBudget {
+  BudgetKind kind = BudgetKind::kSampleFraction;
+  double value = 1.0;
+
+  /// Convenience constructors.
+  static QueryBudget fraction(double f) {
+    return {BudgetKind::kSampleFraction, f};
+  }
+  static QueryBudget latency_ms(double ms) {
+    return {BudgetKind::kLatencyMs, ms};
+  }
+  static QueryBudget tokens(double t) {
+    return {BudgetKind::kResourceTokens, t};
+  }
+  static QueryBudget relative_error(double e) {
+    return {BudgetKind::kRelativeError, e};
+  }
+};
+
+/// Calibration of the execution substrate, used by the latency and token
+/// budgets. Defaults are deliberately conservative; systems measure and
+/// update them at runtime (see core::StreamApprox).
+struct CostModel {
+  double items_per_ms_per_worker = 1000.0;  ///< measured processing rate
+  double tokens_per_item = 1.0;             ///< resource cost of one item
+  std::size_t workers = 1;                  ///< parallel workers available
+};
+
+/// Translates budgets into per-interval total sample sizes.
+class CostFunction {
+ public:
+  CostFunction() = default;
+  explicit CostFunction(CostModel model) : model_(model) {}
+
+  /// Computes the sample size for the next interval.
+  ///
+  /// `expected_items` is the anticipated number of arrivals in the interval
+  /// (typically the previous interval's count); `last_interval` carries the
+  /// previous interval's per-stratum statistics for the accuracy budget (may
+  /// be empty, in which case a fraction of 10% of expected_items is used as
+  /// a safe starting point).
+  std::size_t sample_size(
+      const QueryBudget& budget, std::uint64_t expected_items,
+      const std::vector<StratumSummary>& last_interval = {}) const;
+
+  /// Updates the measured substrate throughput (items/ms/worker).
+  void calibrate_throughput(double items_per_ms_per_worker) {
+    if (items_per_ms_per_worker > 0.0) {
+      model_.items_per_ms_per_worker = items_per_ms_per_worker;
+    }
+  }
+
+  /// The current cost model.
+  const CostModel& model() const noexcept { return model_; }
+
+ private:
+  CostModel model_{};
+};
+
+}  // namespace streamapprox::estimation

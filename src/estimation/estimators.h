@@ -1,0 +1,94 @@
+// Stratified estimators for approximate linear queries — the paper's §3.2
+// (Eq. 2-4) point estimates with the §3.3 (Eq. 5-9) variance estimates.
+//
+// Estimators consume per-stratum summaries (C_i, Y_i, Σx, Σx²) so they are
+// independent of the record type: any sampler output can be summarised with
+// `summarize()` and fed through here. All computation is O(#strata).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "estimation/approx_result.h"
+#include "sampling/sample.h"
+
+namespace streamapprox::estimation {
+
+/// Sufficient statistics of one stratum's sample for linear-query estimation.
+struct StratumSummary {
+  sampling::StratumId stratum = 0;
+  std::uint64_t seen = 0;      ///< C_i: items received in the interval
+  std::uint64_t sampled = 0;   ///< Y_i: items selected
+  double sum = 0.0;            ///< Σ_j I_ij over sampled items
+  double sum_sq = 0.0;         ///< Σ_j I_ij² over sampled items
+  double weight = 1.0;         ///< W_i per Eq. 1
+
+  /// Sample mean Ī_i (0 when empty).
+  double mean() const noexcept {
+    return sampled == 0 ? 0.0 : sum / static_cast<double>(sampled);
+  }
+
+  /// Unbiased sample variance s_i² (Eq. 7); 0 when fewer than two samples.
+  double sample_variance() const noexcept {
+    if (sampled < 2) return 0.0;
+    const double n = static_cast<double>(sampled);
+    const double centered = sum_sq - sum * sum / n;
+    return centered > 0.0 ? centered / (n - 1.0) : 0.0;
+  }
+
+  /// Merges another summary of the SAME stratum (distributed workers).
+  void merge(const StratumSummary& other) noexcept;
+};
+
+/// Builds summaries from a stratified sample, extracting each item's numeric
+/// value with `value`.
+template <typename T, typename ValueFn>
+std::vector<StratumSummary> summarize(
+    const sampling::StratifiedSample<T>& sample, ValueFn value) {
+  std::vector<StratumSummary> out;
+  out.reserve(sample.strata.size());
+  for (const auto& stratum : sample.strata) {
+    StratumSummary s;
+    s.stratum = stratum.stratum;
+    s.seen = stratum.seen;
+    s.sampled = stratum.items.size();
+    s.weight = stratum.weight;
+    for (const auto& item : stratum.items) {
+      const double x = static_cast<double>(value(item));
+      s.sum += x;
+      s.sum_sq += x * x;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Approximate SUM over all strata: Eq. 2-3 point estimate with Eq. 6
+/// variance. Strata with C_i <= Y_i (fully observed) contribute zero
+/// variance, as the theory requires.
+ApproxResult estimate_sum(const std::vector<StratumSummary>& strata);
+
+/// Approximate MEAN over all strata: Eq. 4/8 point estimate with Eq. 9
+/// variance.
+ApproxResult estimate_mean(const std::vector<StratumSummary>& strata);
+
+/// Approximate COUNT of all items (Σ Y_i·W_i with the per-stratum weights;
+/// equals Σ C_i exactly when weights follow Eq. 1 — kept as a consistency
+/// check and for samplers whose counters are themselves estimates).
+ApproxResult estimate_count(const std::vector<StratumSummary>& strata);
+
+/// SUM restricted to one stratum (a per-group aggregate such as "bytes of
+/// TCP traffic"): Eq. 2 with the single-stratum term of Eq. 6.
+ApproxResult estimate_stratum_sum(const StratumSummary& stratum);
+
+/// MEAN restricted to one stratum (e.g. "average trip distance in
+/// Manhattan").
+ApproxResult estimate_stratum_mean(const StratumSummary& stratum);
+
+/// Merges summaries of the same stratum coming from distributed workers,
+/// preserving first-seen order of strata.
+std::vector<StratumSummary> merge_summaries(
+    const std::vector<std::vector<StratumSummary>>& parts);
+
+}  // namespace streamapprox::estimation

@@ -1,0 +1,36 @@
+#include "estimation/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamapprox::estimation {
+
+FeedbackController::FeedbackController(FeedbackConfig config,
+                                       std::size_t initial_budget)
+    : config_(config),
+      budget_(std::clamp(initial_budget, config.min_budget,
+                         config.max_budget)) {}
+
+std::size_t FeedbackController::update(double observed_relative_bound) {
+  const double target = config_.target_relative_error;
+  double scale = 0.0;
+  if (observed_relative_bound <= 0.0) {
+    // Interval was exact (e.g. every stratum fully observed): we can afford
+    // to shrink gently and reclaim resources.
+    scale = 0.5;
+  } else {
+    // Relative bound scales ~ 1/sqrt(budget): to move the bound from
+    // `observed` to `target`, scale the budget by (observed/target)².
+    const double ratio = observed_relative_bound / target;
+    scale = ratio * ratio;
+  }
+  scale = std::clamp(scale, 1.0 / config_.max_step, config_.max_step);
+  const double damped =
+      std::pow(scale, config_.smoothing);  // EWMA in log space
+  const double next = static_cast<double>(budget_) * damped;
+  budget_ = std::clamp(static_cast<std::size_t>(std::llround(next)),
+                       config_.min_budget, config_.max_budget);
+  return budget_;
+}
+
+}  // namespace streamapprox::estimation

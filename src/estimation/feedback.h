@@ -1,0 +1,43 @@
+// Adaptive feedback between the error-estimation module and the sampling
+// module (paper §4.2: "In cases where the error bound is larger than the
+// specified target, an adaptive feedback mechanism is activated to increase
+// the sample size"). A damped multiplicative controller exploiting the
+// 1/sqrt(Y) error law: doubling accuracy needs 4x the sample.
+#pragma once
+
+#include <cstddef>
+
+namespace streamapprox::estimation {
+
+/// Controller configuration.
+struct FeedbackConfig {
+  double target_relative_error = 0.01;  ///< desired 95% relative bound
+  double smoothing = 0.5;   ///< EWMA factor on budget updates (0..1]
+  double max_step = 4.0;    ///< max multiplicative change per interval
+  std::size_t min_budget = 16;
+  std::size_t max_budget = 1 << 26;
+};
+
+/// Re-tunes the per-interval sample budget from observed error bounds.
+class FeedbackController {
+ public:
+  /// Creates a controller starting at `initial_budget` samples/interval.
+  FeedbackController(FeedbackConfig config, std::size_t initial_budget);
+
+  /// Reports the observed relative error bound of the last interval and
+  /// returns the budget to use for the next interval. Error bound <= 0 (an
+  /// exact interval) shrinks the budget toward min_budget.
+  std::size_t update(double observed_relative_bound);
+
+  /// Budget currently in force.
+  std::size_t budget() const noexcept { return budget_; }
+
+  /// The configured target.
+  double target() const noexcept { return config_.target_relative_error; }
+
+ private:
+  FeedbackConfig config_;
+  std::size_t budget_;
+};
+
+}  // namespace streamapprox::estimation

@@ -1,0 +1,164 @@
+#include "ingest/broker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace streamapprox::ingest {
+
+// ---------------------------------------------------------------- Partition
+
+Offset PartitionLog::append(const engine::Record& record) {
+  Offset offset = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (sealed_) throw std::logic_error("PartitionLog: append after seal");
+    log_.push_back(record);
+    offset = log_.size() - 1;
+  }
+  data_.notify_all();
+  return offset;
+}
+
+Offset PartitionLog::read(Offset from, std::size_t max_records,
+                          std::vector<engine::Record>& out) const {
+  std::lock_guard lock(mutex_);
+  const Offset end = std::min<Offset>(log_.size(), from + max_records);
+  for (Offset i = from; i < end; ++i) out.push_back(log_[i]);
+  return end > from ? end : from;
+}
+
+Offset PartitionLog::read_blocking(Offset from, std::size_t max_records,
+                                   std::vector<engine::Record>& out,
+                                   std::int64_t timeout_ms) const {
+  std::unique_lock lock(mutex_);
+  data_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                 [&] { return sealed_ || log_.size() > from; });
+  const Offset end = std::min<Offset>(log_.size(), from + max_records);
+  for (Offset i = from; i < end; ++i) out.push_back(log_[i]);
+  return end > from ? end : from;
+}
+
+Offset PartitionLog::end_offset() const {
+  std::lock_guard lock(mutex_);
+  return log_.size();
+}
+
+void PartitionLog::seal() {
+  {
+    std::lock_guard lock(mutex_);
+    sealed_ = true;
+  }
+  data_.notify_all();
+}
+
+bool PartitionLog::sealed() const {
+  std::lock_guard lock(mutex_);
+  return sealed_;
+}
+
+// -------------------------------------------------------------------- Topic
+
+Topic::Topic(std::size_t partitions) {
+  if (partitions == 0) partitions = 1;
+  logs_.reserve(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    logs_.push_back(std::make_unique<PartitionLog>());
+  }
+}
+
+std::uint64_t Topic::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) total += log->end_offset();
+  return total;
+}
+
+void Topic::seal() {
+  for (auto& log : logs_) log->seal();
+}
+
+// ------------------------------------------------------------------- Broker
+
+Topic& Broker::create_topic(const std::string& name, std::size_t partitions) {
+  std::lock_guard lock(mutex_);
+  auto it = topics_.find(name);
+  if (it != topics_.end()) {
+    if (it->second->partition_count() != std::max<std::size_t>(1, partitions)) {
+      throw std::invalid_argument(
+          "Broker: topic exists with different partition count: " + name);
+    }
+    return *it->second;
+  }
+  auto [inserted, ok] =
+      topics_.emplace(name, std::make_unique<Topic>(partitions));
+  return *inserted->second;
+}
+
+Topic& Broker::topic(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    throw std::out_of_range("Broker: unknown topic " + name);
+  }
+  return *it->second;
+}
+
+bool Broker::has_topic(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return topics_.contains(name);
+}
+
+// ----------------------------------------------------------------- Producer
+
+Producer::Producer(Broker& broker, const std::string& topic)
+    : topic_(broker.topic(topic)) {}
+
+void Producer::send(const engine::Record& record) {
+  topic_.partition(topic_.partition_for_key(record.stratum)).append(record);
+  ++sent_;
+}
+
+void Producer::send_batch(const std::vector<engine::Record>& records) {
+  for (const auto& record : records) send(record);
+}
+
+void Producer::finish() { topic_.seal(); }
+
+// ----------------------------------------------------------------- Consumer
+
+Consumer::Consumer(Broker& broker, const std::string& topic)
+    : topic_(broker.topic(topic)),
+      offsets_(topic_.partition_count(), 0) {}
+
+std::vector<engine::Record> Consumer::poll(std::size_t max_records,
+                                           std::int64_t timeout_ms) {
+  std::vector<engine::Record> out;
+  out.reserve(std::min<std::size_t>(max_records, 4096));
+  const std::size_t partitions = topic_.partition_count();
+
+  // First try non-blocking round-robin over partitions.
+  for (std::size_t i = 0; i < partitions && out.size() < max_records; ++i) {
+    const std::size_t p = (next_partition_ + i) % partitions;
+    offsets_[p] =
+        topic_.partition(p).read(offsets_[p], max_records - out.size(), out);
+  }
+  // Nothing anywhere: block on the next partition in line for fairness.
+  if (out.empty() && timeout_ms > 0) {
+    const std::size_t p = next_partition_;
+    offsets_[p] = topic_.partition(p).read_blocking(offsets_[p], max_records,
+                                                    out, timeout_ms);
+  }
+  next_partition_ = (next_partition_ + 1) % partitions;
+  consumed_ += out.size();
+  return out;
+}
+
+bool Consumer::exhausted() const {
+  for (std::size_t p = 0; p < topic_.partition_count(); ++p) {
+    const auto& log = topic_.partition(p);
+    if (!log.sealed() || offsets_[p] < log.end_offset()) return false;
+  }
+  return true;
+}
+
+}  // namespace streamapprox::ingest

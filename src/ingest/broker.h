@@ -1,0 +1,162 @@
+// In-process stream aggregator modelled on Apache Kafka (paper Fig. 1:
+// "stream aggregator (e.g. Kafka) combines the incoming data items from
+// disjoint sub-streams").
+//
+// Faithful subset: named topics divided into partitions; each partition is
+// an append-only log addressed by offset; producers append (optionally
+// keyed, so one sub-stream maps deterministically onto one partition);
+// consumers poll from their tracked offsets and never remove data, so
+// several consumers/groups can read the same stream independently. Out of
+// scope (documented in DESIGN.md): replication, persistence, consumer-group
+// rebalancing protocol.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/record.h"
+
+namespace streamapprox::ingest {
+
+/// Position within a partition's log.
+using Offset = std::uint64_t;
+
+/// One append-only partition log. Thread-safe.
+class PartitionLog {
+ public:
+  /// Appends a record, returning its offset.
+  Offset append(const engine::Record& record);
+
+  /// Copies up to `max_records` records starting at `from` into `out`;
+  /// returns the next offset to read. Does not block.
+  Offset read(Offset from, std::size_t max_records,
+              std::vector<engine::Record>& out) const;
+
+  /// Blocks until data is available at `from`, the timeout elapses, or the
+  /// log is sealed. Returns next offset (== from when nothing arrived).
+  Offset read_blocking(Offset from, std::size_t max_records,
+                       std::vector<engine::Record>& out,
+                       std::int64_t timeout_ms) const;
+
+  /// End offset (== number of records appended).
+  Offset end_offset() const;
+
+  /// Seals the log: no further appends; blocked readers wake up.
+  void seal();
+
+  /// True once sealed.
+  bool sealed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable data_;
+  std::vector<engine::Record> log_;
+  bool sealed_ = false;
+};
+
+/// A named stream of records split into partitions.
+class Topic {
+ public:
+  /// Creates a topic with `partitions` >= 1 partition logs.
+  explicit Topic(std::size_t partitions);
+
+  /// Number of partitions.
+  std::size_t partition_count() const noexcept { return logs_.size(); }
+
+  /// Access to one partition.
+  PartitionLog& partition(std::size_t index) { return *logs_.at(index); }
+  const PartitionLog& partition(std::size_t index) const {
+    return *logs_.at(index);
+  }
+
+  /// Routes a key to a partition (hash partitioning, Kafka's default for
+  /// keyed messages — keeps each sub-stream in one partition, preserving
+  /// per-source ordering).
+  std::size_t partition_for_key(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(key % logs_.size());
+  }
+
+  /// Total records across partitions.
+  std::uint64_t total_records() const;
+
+  /// Seals every partition.
+  void seal();
+
+ private:
+  std::vector<std::unique_ptr<PartitionLog>> logs_;
+};
+
+/// The broker: a registry of topics.
+class Broker {
+ public:
+  /// Creates (or returns the existing) topic with `partitions` partitions.
+  /// Throws std::invalid_argument if the topic exists with a different
+  /// partition count.
+  Topic& create_topic(const std::string& name, std::size_t partitions);
+
+  /// Looks up a topic; throws std::out_of_range if absent.
+  Topic& topic(const std::string& name);
+
+  /// True when the topic exists.
+  bool has_topic(const std::string& name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Topic>> topics_;
+};
+
+/// Appends records to a topic, routing by the record's stratum so that each
+/// sub-stream lands in a single partition (paper Fig. 1 sub-streams).
+class Producer {
+ public:
+  /// Binds the producer to a topic.
+  Producer(Broker& broker, const std::string& topic);
+
+  /// Sends one record (keyed by stratum).
+  void send(const engine::Record& record);
+
+  /// Sends a batch.
+  void send_batch(const std::vector<engine::Record>& records);
+
+  /// Marks the stream complete (seals the topic).
+  void finish();
+
+  /// Records sent so far.
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  Topic& topic_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Reads all partitions of a topic from tracked offsets.
+class Consumer {
+ public:
+  /// Binds the consumer to a topic, starting at offset 0 everywhere.
+  Consumer(Broker& broker, const std::string& topic);
+
+  /// Polls up to `max_records` records across partitions, blocking up to
+  /// `timeout_ms` for the first record. Returns the records fetched (empty
+  /// when the topic is exhausted and sealed, or the timeout expired).
+  std::vector<engine::Record> poll(std::size_t max_records,
+                                   std::int64_t timeout_ms = 100);
+
+  /// True when every partition is sealed and fully consumed.
+  bool exhausted() const;
+
+  /// Total records consumed.
+  std::uint64_t consumed() const noexcept { return consumed_; }
+
+ private:
+  Topic& topic_;
+  std::vector<Offset> offsets_;
+  std::uint64_t consumed_ = 0;
+  std::size_t next_partition_ = 0;
+};
+
+}  // namespace streamapprox::ingest

@@ -1,0 +1,40 @@
+#include "ingest/replay.h"
+
+#include "common/clock.h"
+
+namespace streamapprox::ingest {
+
+ReplayTool::ReplayTool(Broker& broker, const std::string& topic,
+                       std::vector<engine::Record> records,
+                       ReplayConfig config)
+    : broker_(broker),
+      topic_(topic),
+      records_(std::move(records)),
+      config_(config) {
+  if (config_.items_per_message == 0) config_.items_per_message = 1;
+  thread_ = std::thread([this] { run(); });
+}
+
+ReplayTool::~ReplayTool() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReplayTool::wait() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReplayTool::run() {
+  Producer producer(broker_, topic_);
+  TokenBucket bucket(config_.messages_per_sec);
+  std::size_t i = 0;
+  while (i < records_.size()) {
+    bucket.acquire(1.0);
+    const std::size_t end =
+        std::min(records_.size(), i + config_.items_per_message);
+    for (; i < end; ++i) producer.send(records_[i]);
+    ++messages_sent_;
+  }
+  producer.finish();
+}
+
+}  // namespace streamapprox::ingest

@@ -1,0 +1,58 @@
+#include "sampling/allocation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace streamapprox::sampling {
+
+std::vector<std::size_t> allocate_capacities(
+    std::size_t total_budget, std::size_t num_strata, AllocationPolicy policy,
+    const std::vector<std::uint64_t>& previous_counts) {
+  if (num_strata == 0) return {};
+  std::vector<std::size_t> capacities(num_strata, 0);
+  if (total_budget == 0) return capacities;
+
+  const bool have_history =
+      policy == AllocationPolicy::kProportional &&
+      previous_counts.size() == num_strata &&
+      std::accumulate(previous_counts.begin(), previous_counts.end(),
+                      std::uint64_t{0}) > 0;
+
+  if (!have_history) {
+    // Equal split; distribute the remainder to the first strata so the full
+    // budget is always used.
+    const std::size_t base = total_budget / num_strata;
+    std::size_t remainder = total_budget % num_strata;
+    for (auto& c : capacities) {
+      c = base + (remainder > 0 ? 1 : 0);
+      if (remainder > 0) --remainder;
+    }
+    return capacities;
+  }
+
+  const double total_count = static_cast<double>(std::accumulate(
+      previous_counts.begin(), previous_counts.end(), std::uint64_t{0}));
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < num_strata; ++i) {
+    const double share =
+        static_cast<double>(previous_counts[i]) / total_count;
+    capacities[i] = static_cast<std::size_t>(
+        share * static_cast<double>(total_budget));
+    assigned += capacities[i];
+  }
+  // Guarantee a slot for every live stratum while budget allows, then hand
+  // out any remaining budget round-robin.
+  for (std::size_t i = 0; i < num_strata && assigned < total_budget; ++i) {
+    if (capacities[i] == 0 && previous_counts[i] > 0) {
+      capacities[i] = 1;
+      ++assigned;
+    }
+  }
+  for (std::size_t i = 0; assigned < total_budget; i = (i + 1) % num_strata) {
+    ++capacities[i];
+    ++assigned;
+  }
+  return capacities;
+}
+
+}  // namespace streamapprox::sampling

@@ -1,0 +1,31 @@
+// Policies translating a *total* per-interval sample budget into per-stratum
+// reservoir capacities N_i (paper Algorithm 3's getSampleSize(sampleSize, S)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streamapprox::sampling {
+
+/// How a total sample budget is divided among the currently known strata.
+enum class AllocationPolicy {
+  /// Every stratum gets budget / #strata. This is OASRS's default: capacity
+  /// is independent of stratum size, which is what protects small strata and
+  /// removes any need to know arrival rates in advance.
+  kEqual,
+  /// Strata get capacity proportional to their observed arrival counts from
+  /// the previous interval (what Spark STS effectively does). Needs history;
+  /// kept for comparison/ablation.
+  kProportional,
+};
+
+/// Computes per-stratum capacities. `previous_counts` supplies last-interval
+/// C_i values for kProportional (may be empty, in which case allocation falls
+/// back to equal). Every stratum receives at least 1 slot while budget >=
+/// #strata; a zero budget yields all-zero capacities.
+std::vector<std::size_t> allocate_capacities(
+    std::size_t total_budget, std::size_t num_strata, AllocationPolicy policy,
+    const std::vector<std::uint64_t>& previous_counts = {});
+
+}  // namespace streamapprox::sampling

@@ -1,0 +1,205 @@
+// Online Adaptive Stratified Reservoir Sampling — the paper's primary
+// contribution (Algorithm 3). One reservoir per stratum, strata discovered on
+// the fly, per-interval counters C_i, weights W_i per Eq. 1, no knowledge of
+// sub-stream statistics required and no synchronisation between workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sampling/allocation.h"
+#include "sampling/reservoir.h"
+#include "sampling/sample.h"
+
+namespace streamapprox::sampling {
+
+/// Configuration for an OasrsSampler.
+struct OasrsConfig {
+  /// Total per-interval sample budget (split across strata by `policy`).
+  /// When 0, `per_stratum_capacity` is used directly for every stratum.
+  std::size_t total_budget = 0;
+  /// Fixed reservoir capacity per stratum (used when total_budget == 0, the
+  /// paper's "fixed-size reservoir per stratum" presentation in Fig. 2).
+  std::size_t per_stratum_capacity = 64;
+  /// Budget-splitting policy when total_budget > 0.
+  AllocationPolicy policy = AllocationPolicy::kEqual;
+  /// RNG seed; each stratum forks its own generator deterministically.
+  std::uint64_t seed = 0x0a5125ULL;
+};
+
+/// OASRS sampler over items of type T.
+///
+/// `KeyFn` maps an item to its StratumId (the sub-stream / source). A new
+/// stratum encountered mid-interval immediately receives its own reservoir —
+/// OASRS "does not overlook any sub-streams regardless of their popularity"
+/// (§3.2). Call take() at the end of every time interval (batch or window
+/// slide) to obtain the (sample, W) pair of Algorithm 3 and reset counters
+/// for the next interval.
+template <typename T, typename KeyFn = std::function<StratumId(const T&)>>
+class OasrsSampler {
+ public:
+  /// Creates a sampler. `key` extracts an item's stratum.
+  OasrsSampler(OasrsConfig config, KeyFn key)
+      : config_(config), key_(std::move(key)), rng_(config.seed) {}
+
+  /// Offers one arriving item (paper Algorithm 3 inner loop): updates the
+  /// stratum counter C_i and the stratum reservoir.
+  void offer(const T& item) {
+    const StratumId id = key_(item);
+    auto it = reservoirs_.find(id);
+    if (it == reservoirs_.end()) {
+      // New stratum discovered mid-interval: the shared budget is re-split
+      // over the larger stratum set, shrinking existing reservoirs (a
+      // uniform subsample stays uniform) so the total never exceeds the
+      // budget.
+      order_.push_back(id);
+      const std::size_t capacity = capacity_for(order_.size());
+      if (config_.total_budget > 0) {
+        for (auto& [existing_id, reservoir] : reservoirs_) {
+          reservoir.shrink_capacity(capacity);
+        }
+      }
+      it = reservoirs_
+               .emplace(id, ReservoirSampler<T>(capacity, rng_.fork().next()))
+               .first;
+    }
+    it->second.offer(item);
+  }
+
+  /// Ends the current interval: returns every stratum's (items, C_i, W_i)
+  /// and resets all reservoirs and counters. Strata are reported in first-
+  /// seen order for deterministic output. Under the kProportional policy,
+  /// next-interval capacities follow this interval's observed arrival counts
+  /// (the STS-style allocation, kept for ablation); the default kEqual split
+  /// keeps every stratum's capacity identical, which is what makes OASRS
+  /// robust to arrival-rate fluctuation.
+  StratifiedSample<T> take() {
+    StratifiedSample<T> result;
+    result.strata.reserve(order_.size());
+    std::vector<std::uint64_t> counts;
+    counts.reserve(order_.size());
+    for (const StratumId id : order_) {
+      auto& reservoir = reservoirs_.at(id);
+      counts.push_back(reservoir.seen());
+      StratumSample<T> s;
+      s.stratum = id;
+      s.seen = reservoir.seen();
+      s.weight = reservoir.weight();
+      s.items = reservoir.take_items();
+      if (s.seen > 0) result.strata.push_back(std::move(s));
+    }
+    const auto capacities =
+        config_.total_budget > 0
+            ? allocate_capacities(config_.total_budget, order_.size(),
+                                  config_.policy, counts)
+            : std::vector<std::size_t>(order_.size(),
+                                       config_.per_stratum_capacity);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      reservoirs_.at(order_[i]).reset(capacities[i]);
+    }
+    return result;
+  }
+
+  /// Per-stratum view without consuming (copies items).
+  StratifiedSample<T> snapshot() const {
+    StratifiedSample<T> result;
+    result.strata.reserve(order_.size());
+    for (const StratumId id : order_) {
+      const auto& reservoir = reservoirs_.at(id);
+      if (reservoir.seen() == 0) continue;
+      StratumSample<T> s;
+      s.stratum = id;
+      s.seen = reservoir.seen();
+      s.weight = reservoir.weight();
+      s.items = reservoir.items();
+      result.strata.push_back(std::move(s));
+    }
+    return result;
+  }
+
+  /// Adjusts the total budget (adaptive feedback, §4.2: "increase the sample
+  /// size ... in the subsequent epochs"). Empty reservoirs re-tune at once;
+  /// reservoirs already filling this interval shrink immediately if the
+  /// budget fell, and pick up a larger budget at the next reset — growing a
+  /// live reservoir would bias it toward recent items.
+  void set_total_budget(std::size_t budget) {
+    config_.total_budget = budget;
+    if (budget == 0) return;
+    const std::size_t capacity = capacity_for(order_.size());
+    for (auto& [id, reservoir] : reservoirs_) {
+      if (reservoir.seen() == 0) {
+        reservoir.reset(capacity);
+      } else {
+        reservoir.shrink_capacity(capacity);
+      }
+    }
+  }
+
+  /// Adjusts the fixed per-stratum capacity for subsequent intervals.
+  void set_per_stratum_capacity(std::size_t capacity) {
+    config_.per_stratum_capacity = capacity;
+    if (config_.total_budget == 0) {
+      // Applied on next reset (take()); reservoirs currently filling keep
+      // their capacity so mid-interval statistics stay coherent.
+    }
+  }
+
+  /// Number of strata discovered so far.
+  std::size_t stratum_count() const noexcept { return reservoirs_.size(); }
+
+  /// Total items offered in the current interval.
+  std::uint64_t interval_seen() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [id, reservoir] : reservoirs_) total += reservoir.seen();
+    return total;
+  }
+
+  /// Merges the per-stratum reservoirs of `other` into this sampler —
+  /// the distributed execution path (§3.2): each of w workers runs a local
+  /// OASRS over its share of the stream; merging concatenates the statistics
+  /// without any synchronisation during sampling itself.
+  void merge(OasrsSampler& other) {
+    for (StratumId id : other.order_) {
+      auto& theirs = other.reservoirs_.at(id);
+      auto it = reservoirs_.find(id);
+      if (it == reservoirs_.end()) {
+        it = reservoirs_
+                 .emplace(id, ReservoirSampler<T>(stratum_capacity(),
+                                                  rng_.fork().next()))
+                 .first;
+        order_.push_back(id);
+      }
+      it->second.merge(theirs);
+    }
+  }
+
+ private:
+  /// Per-stratum capacity when `strata` strata share the budget.
+  std::size_t capacity_for(std::size_t strata) const {
+    if (config_.total_budget == 0) return config_.per_stratum_capacity;
+    if (strata == 0) strata = 1;
+    return std::max<std::size_t>(config_.total_budget / strata,
+                                 config_.total_budget > 0 ? 1 : 0);
+  }
+
+  std::size_t stratum_capacity() const { return capacity_for(order_.size()); }
+
+  OasrsConfig config_;
+  KeyFn key_;
+  streamapprox::Rng rng_;
+  std::unordered_map<StratumId, ReservoirSampler<T>> reservoirs_;
+  std::vector<StratumId> order_;
+};
+
+/// Deduces a convenient OASRS type for items that expose `.stratum`.
+template <typename T>
+auto make_oasrs(OasrsConfig config) {
+  auto key = [](const T& item) { return static_cast<StratumId>(item.stratum); };
+  return OasrsSampler<T, decltype(key)>(config, key);
+}
+
+}  // namespace streamapprox::sampling

@@ -1,0 +1,229 @@
+// Reservoir sampling — paper Algorithm 1 (Vitter's Algorithm R) plus the
+// skip-ahead optimisation (Li's Algorithm L) used as an ablation, and the
+// distributed two-reservoir merge used by OASRS's synchronisation-free
+// distributed execution (paper §3.2, "Distributed execution").
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace streamapprox::sampling {
+
+/// Uniform fixed-capacity reservoir over an unbounded stream (Algorithm R,
+/// exactly the paper's Algorithm 1): the first N items fill the reservoir;
+/// afterwards item i is accepted with probability N/i and replaces a uniform
+/// random slot. Every stream prefix's items end up in the reservoir with
+/// equal probability N/i.
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// Creates a reservoir holding at most `capacity` items, drawing randomness
+  /// from `seed`.
+  explicit ReservoirSampler(std::size_t capacity, std::uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    items_.reserve(capacity_);
+  }
+
+  /// Offers one stream item to the sampler.
+  void offer(const T& item) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(item);
+      return;
+    }
+    if (capacity_ == 0) return;
+    // Accept with probability N/i, then displace a uniform random slot.
+    const std::uint64_t j = rng_.uniform_int(seen_);
+    if (j < capacity_) items_[j] = item;
+  }
+
+  /// Number of items offered so far (the paper's per-interval counter C_i).
+  std::uint64_t seen() const noexcept { return seen_; }
+
+  /// The current sample (Y_i = items().size() <= capacity).
+  const std::vector<T>& items() const noexcept { return items_; }
+
+  /// Reservoir capacity N_i.
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Expansion weight per paper Eq. 1: C_i/N_i when the stratum over-filled,
+  /// else 1 (every received item is in the sample and represents itself).
+  double weight() const noexcept {
+    if (items_.empty()) return 1.0;
+    return seen_ > items_.size()
+               ? static_cast<double>(seen_) /
+                     static_cast<double>(items_.size())
+               : 1.0;
+  }
+
+  /// Clears sample and counter for the next time interval. The capacity may
+  /// be changed at the same time (adaptive feedback re-tunes it, §4.2).
+  void reset(std::size_t new_capacity) {
+    capacity_ = new_capacity;
+    items_.clear();
+    items_.reserve(capacity_);
+    seen_ = 0;
+  }
+
+  /// Clears sample and counter, keeping the capacity.
+  void reset() { reset(capacity_); }
+
+  /// Shrinks the capacity mid-stream, discarding uniformly random items if
+  /// the sample currently exceeds it. Statistically sound: a uniform random
+  /// subsample of a uniform random sample is itself uniform, and Algorithm R
+  /// keeps uniformity when continuing with the smaller N. Used by OASRS when
+  /// a newly discovered stratum dilutes the shared budget (Algorithm 3's
+  /// getSampleSize over a growing stratum set). Growing mid-stream is NOT
+  /// offered — it would bias toward recent items; growth applies at reset.
+  void shrink_capacity(std::size_t new_capacity) {
+    if (new_capacity >= capacity_) return;
+    capacity_ = new_capacity;
+    while (items_.size() > capacity_) {
+      const std::uint64_t idx = rng_.uniform_int(items_.size());
+      items_[idx] = std::move(items_.back());
+      items_.pop_back();
+    }
+  }
+
+  /// Moves the sample out (leaving the reservoir empty but counters intact).
+  std::vector<T> take_items() noexcept { return std::move(items_); }
+
+  /// Merges `other` into this reservoir without re-scanning either stream:
+  /// the result approximates a uniform sample of the union population of
+  /// size min(capacity, combined sample size). Each output slot chooses its
+  /// source with probability proportional to the source's STREAM count
+  /// (binomial allocation of slots — the standard distributed reservoir
+  /// merge, unbiased in expectation), then takes a uniformly random
+  /// not-yet-taken item from that source.
+  void merge(const ReservoirSampler& other) {
+    if (other.seen_ == 0) return;
+    if (seen_ == 0) {
+      items_ = other.items_;
+      seen_ = other.seen_;
+      return;
+    }
+    std::vector<T> mine = std::move(items_);
+    std::vector<T> theirs = other.items_;
+    const double share_mine =
+        static_cast<double>(seen_) /
+        static_cast<double>(seen_ + other.seen_);
+    std::vector<T> merged;
+    const std::size_t target =
+        std::min(capacity_, mine.size() + theirs.size());
+    merged.reserve(target);
+    while (merged.size() < target && (!mine.empty() || !theirs.empty())) {
+      const bool pick_mine =
+          !mine.empty() && (theirs.empty() || rng_.uniform() < share_mine);
+      auto& source = pick_mine ? mine : theirs;
+      const std::uint64_t idx = rng_.uniform_int(source.size());
+      merged.push_back(std::move(source[idx]));
+      source[idx] = std::move(source.back());
+      source.pop_back();
+    }
+    items_ = std::move(merged);
+    seen_ += other.seen_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> items_;
+  std::uint64_t seen_ = 0;
+  streamapprox::Rng rng_;
+};
+
+/// Algorithm L reservoir: statistically identical output to Algorithm R but
+/// skips ahead geometrically instead of drawing one random number per item,
+/// so the per-item cost after warm-up is O(1) amortised with a tiny constant.
+/// Provided as the paper's natural "optimisation" ablation (bench
+/// micro_samplers measures the gap).
+template <typename T>
+class FastReservoirSampler {
+ public:
+  /// See ReservoirSampler.
+  explicit FastReservoirSampler(std::size_t capacity, std::uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    items_.reserve(capacity_);
+  }
+
+  /// Offers one stream item.
+  void offer(const T& item) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(item);
+      if (items_.size() == capacity_) prime();
+      return;
+    }
+    if (capacity_ == 0) return;
+    if (seen_ <= next_accept_) {
+      if (seen_ == next_accept_) {
+        items_[rng_.uniform_int(capacity_)] = item;
+        advance();
+      }
+      return;
+    }
+    // next_accept_ fell behind (can only happen after reset); re-prime.
+    prime();
+  }
+
+  /// Items offered so far.
+  std::uint64_t seen() const noexcept { return seen_; }
+  /// Current sample.
+  const std::vector<T>& items() const noexcept { return items_; }
+  /// Capacity N.
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Weight per Eq. 1.
+  double weight() const noexcept {
+    if (items_.empty()) return 1.0;
+    return seen_ > items_.size()
+               ? static_cast<double>(seen_) /
+                     static_cast<double>(items_.size())
+               : 1.0;
+  }
+
+  /// Clears state for the next interval.
+  void reset() {
+    items_.clear();
+    items_.reserve(capacity_);
+    seen_ = 0;
+    w_ = 1.0;
+    next_accept_ = 0;
+  }
+
+ private:
+  void prime() {
+    w_ = 1.0;
+    next_accept_ = seen_;
+    advance();
+  }
+
+  void advance() {
+    // w *= U^(1/k); skip Geometric(log U / log(1-w)) items.
+    w_ *= std::exp(std::log(positive_uniform()) /
+                   static_cast<double>(capacity_));
+    const double skip =
+        std::floor(std::log(positive_uniform()) / std::log(1.0 - w_));
+    next_accept_ += static_cast<std::uint64_t>(skip) + 1;
+  }
+
+  double positive_uniform() {
+    double u = 0.0;
+    do {
+      u = rng_.uniform();
+    } while (u <= 0.0);
+    return u;
+  }
+
+  std::size_t capacity_;
+  std::vector<T> items_;
+  std::uint64_t seen_ = 0;
+  double w_ = 1.0;
+  std::uint64_t next_accept_ = 0;
+  streamapprox::Rng rng_;
+};
+
+}  // namespace streamapprox::sampling

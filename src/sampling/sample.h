@@ -1,0 +1,64 @@
+// Value types shared by all samplers: per-stratum samples with the paper's
+// (C_i, Y_i, W_i) bookkeeping, and the stratified sample that estimators and
+// query operators consume.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace streamapprox::sampling {
+
+/// Identifier of a sub-stream (stratum). The paper stratifies by data source
+/// (§2.3); workloads map their natural key (sub-stream id, protocol, borough)
+/// onto this type.
+using StratumId = std::uint32_t;
+
+/// Sample drawn from one stratum within one time interval.
+///
+/// Invariants (paper §3.2): items.size() == Y_i <= N_i; seen == C_i >= Y_i;
+/// weight == C_i/N_i if C_i > N_i else 1 (Eq. 1), except merged distributed
+/// samples where weight == C_i/Y_i when the stratum over-filled.
+template <typename T>
+struct StratumSample {
+  StratumId stratum = 0;
+  std::vector<T> items;      ///< the Y_i selected items
+  std::uint64_t seen = 0;    ///< C_i: items received from this stratum
+  double weight = 1.0;       ///< W_i: expansion factor per Eq. 1
+
+  /// Number of sampled items (Y_i).
+  std::size_t sampled() const noexcept { return items.size(); }
+};
+
+/// Union of the per-stratum samples for one interval — the `sample, W` pair
+/// returned by paper Algorithm 3.
+template <typename T>
+struct StratifiedSample {
+  std::vector<StratumSample<T>> strata;
+
+  /// Total number of sampled items across strata (Σ Y_i).
+  std::size_t total_sampled() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : strata) n += s.items.size();
+    return n;
+  }
+
+  /// Total number of received items across strata (Σ C_i).
+  std::uint64_t total_seen() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : strata) n += s.seen;
+    return n;
+  }
+
+  /// True when no stratum produced any item.
+  bool empty() const noexcept { return total_sampled() == 0; }
+
+  /// Appends the strata of `other` (no merging of equal ids; used when
+  /// concatenating disjoint interval samples).
+  void append(StratifiedSample other) {
+    strata.insert(strata.end(), std::make_move_iterator(other.strata.begin()),
+                  std::make_move_iterator(other.strata.end()));
+  }
+};
+
+}  // namespace streamapprox::sampling

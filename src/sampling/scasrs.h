@@ -1,0 +1,132 @@
+// ScaSRS — "Scalable Simple Random Sampling" (Meng, ICML'13), the algorithm
+// behind Apache Spark's RDD `sample`. This is the paper's Spark-based SRS
+// baseline (§4.1): every item gets a U(0,1) key; keys below a low threshold p
+// are accepted outright, keys above a high threshold q are rejected outright,
+// and the "waitlist" in between is SORTED to top the sample up to exactly k
+// items. The waitlist sort is the cost the paper identifies as SRS's
+// bottleneck, so we keep it as a real std::sort.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sampling/sample.h"
+
+namespace streamapprox::sampling {
+
+/// Result of a batch simple-random-sample: uniformly selected items plus the
+/// single expansion weight n/k shared by all of them.
+template <typename T>
+struct SrsResult {
+  std::vector<T> items;
+  std::uint64_t population = 0;  ///< n: batch size sampled from
+  double weight = 1.0;           ///< n / |items|
+};
+
+/// ScaSRS threshold pair (accept-below p, reject-above q) for drawing k of n
+/// with failure probability delta (failure = needing a second pass).
+struct ScaSrsThresholds {
+  double p = 0.0;
+  double q = 1.0;
+};
+
+/// Computes the ScaSRS thresholds for sampling probability `fraction` over a
+/// batch of `n` items (Meng'13, Theorems 1-3; delta defaults to 1e-4 as in
+/// the Spark implementation).
+inline ScaSrsThresholds scasrs_thresholds(double fraction, std::uint64_t n,
+                                          double delta = 1e-4) {
+  ScaSrsThresholds t;
+  if (n == 0 || fraction <= 0.0) return {0.0, 0.0};
+  if (fraction >= 1.0) return {1.0, 1.0};
+  const double nd = static_cast<double>(n);
+  const double gamma1 = -std::log(delta) / nd;
+  const double gamma2 = -2.0 * std::log(delta) / (3.0 * nd);
+  t.p = std::max(0.0, fraction + gamma2 -
+                          std::sqrt(gamma2 * gamma2 +
+                                    3.0 * gamma2 * fraction));
+  t.q = std::min(1.0, fraction + gamma1 +
+                          std::sqrt(gamma1 * gamma1 +
+                                    2.0 * gamma1 * fraction));
+  return t;
+}
+
+/// Draws floor(fraction*n) items uniformly at random from `batch` using the
+/// ScaSRS two-threshold scheme. Deterministic given `rng` state.
+template <typename T>
+SrsResult<T> scasrs_sample(const std::vector<T>& batch, double fraction,
+                           streamapprox::Rng& rng) {
+  SrsResult<T> result;
+  result.population = batch.size();
+  if (batch.empty() || fraction <= 0.0) return result;
+  if (fraction >= 1.0) {
+    result.items = batch;
+    result.weight = 1.0;
+    return result;
+  }
+
+  const auto k = static_cast<std::size_t>(
+      std::max<double>(1.0, std::floor(fraction *
+                                       static_cast<double>(batch.size()))));
+  const auto thresholds = scasrs_thresholds(fraction, batch.size());
+
+  std::vector<T> accepted;
+  accepted.reserve(k + k / 8 + 8);
+  std::vector<std::pair<double, T>> waitlist;
+  for (const T& item : batch) {
+    const double u = rng.uniform();
+    if (u < thresholds.p) {
+      accepted.push_back(item);
+    } else if (u < thresholds.q) {
+      waitlist.emplace_back(u, item);
+    }
+  }
+
+  if (accepted.size() < k) {
+    // The expensive step Spark pays on every micro-batch: order the waitlist
+    // by key and take the smallest keys until the sample is full.
+    std::sort(waitlist.begin(), waitlist.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [u, item] : waitlist) {
+      if (accepted.size() >= k) break;
+      accepted.push_back(std::move(item));
+    }
+  } else if (accepted.size() > k) {
+    accepted.resize(k);  // overshoot beyond delta bound; trim
+  }
+
+  result.weight = accepted.empty()
+                      ? 1.0
+                      : static_cast<double>(batch.size()) /
+                            static_cast<double>(accepted.size());
+  result.items = std::move(accepted);
+  return result;
+}
+
+/// Plain Bernoulli sampling (Spark's non-exact `sample(false, f)` fallback):
+/// each item kept independently with probability `fraction`. Cheaper than
+/// ScaSRS (no sort) but the sample size is only k in expectation.
+template <typename T>
+SrsResult<T> bernoulli_sample(const std::vector<T>& batch, double fraction,
+                              streamapprox::Rng& rng) {
+  SrsResult<T> result;
+  result.population = batch.size();
+  if (batch.empty() || fraction <= 0.0) return result;
+  if (fraction >= 1.0) {
+    result.items = batch;
+    return result;
+  }
+  for (const T& item : batch) {
+    if (rng.bernoulli(fraction)) result.items.push_back(item);
+  }
+  result.weight = result.items.empty()
+                      ? 1.0
+                      : static_cast<double>(batch.size()) /
+                            static_cast<double>(result.items.size());
+  return result;
+}
+
+}  // namespace streamapprox::sampling

@@ -1,0 +1,51 @@
+// Streaming Bernoulli sampler: the simplest possible online sampler, used as
+// a lower-bound baseline in ablations and by tests as a sanity reference.
+// Unlike OASRS it has no per-stratum fairness and its sample size is
+// unbounded in expectation (fraction * stream length).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace streamapprox::sampling {
+
+/// Keeps each offered item independently with probability `fraction`.
+template <typename T>
+class StreamingBernoulliSampler {
+ public:
+  /// Creates a sampler keeping items with probability `fraction` in [0,1].
+  StreamingBernoulliSampler(double fraction, std::uint64_t seed = 1)
+      : fraction_(fraction < 0.0 ? 0.0 : (fraction > 1.0 ? 1.0 : fraction)),
+        rng_(seed) {}
+
+  /// Offers one item.
+  void offer(const T& item) {
+    ++seen_;
+    if (rng_.bernoulli(fraction_)) items_.push_back(item);
+  }
+
+  /// Items kept so far.
+  const std::vector<T>& items() const noexcept { return items_; }
+  /// Items offered so far.
+  std::uint64_t seen() const noexcept { return seen_; }
+  /// Horvitz–Thompson weight 1/fraction (1 when fraction == 0 to stay finite).
+  double weight() const noexcept {
+    return fraction_ > 0.0 ? 1.0 / fraction_ : 1.0;
+  }
+
+  /// Clears sample and counter for the next interval.
+  void reset() {
+    items_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  double fraction_;
+  streamapprox::Rng rng_;
+  std::vector<T> items_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace streamapprox::sampling

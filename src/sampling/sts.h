@@ -1,0 +1,65 @@
+// STS — Spark's stratified sampling baseline (`sampleByKey` /
+// `sampleByKeyExact`, §4.1): group the batch by stratum, then run SRS within
+// each group with the same per-stratum fraction, so each stratum contributes
+// proportionally to its size. In the full system the groupBy is executed as a
+// real shuffle through the batched engine (synchronisation + data movement);
+// this header provides the per-group sampling stage that runs after it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sampling/sample.h"
+#include "sampling/scasrs.h"
+
+namespace streamapprox::sampling {
+
+/// Groups `batch` by stratum key — the data arrangement `groupBy(strata)`
+/// produces. KeyFn maps item -> StratumId.
+template <typename T, typename KeyFn>
+std::unordered_map<StratumId, std::vector<T>> group_by_stratum(
+    const std::vector<T>& batch, KeyFn key) {
+  std::unordered_map<StratumId, std::vector<T>> groups;
+  for (const T& item : batch) groups[key(item)].push_back(item);
+  return groups;
+}
+
+/// Samples each stratum of pre-grouped data with the same fraction.
+///
+/// `exact == true` models sampleByKeyExact (ScaSRS per stratum: exact sample
+/// sizes, requires the waitlist sort); `exact == false` models sampleByKey
+/// (per-stratum Bernoulli: sizes exact only in expectation). Weights are
+/// C_i / Y_i per stratum, so downstream estimation is identical to OASRS.
+template <typename T>
+StratifiedSample<T> sts_sample(
+    const std::unordered_map<StratumId, std::vector<T>>& groups,
+    double fraction, streamapprox::Rng& rng, bool exact = true) {
+  StratifiedSample<T> result;
+  result.strata.reserve(groups.size());
+  for (const auto& [stratum, items] : groups) {
+    SrsResult<T> srs = exact ? scasrs_sample(items, fraction, rng)
+                             : bernoulli_sample(items, fraction, rng);
+    StratumSample<T> s;
+    s.stratum = stratum;
+    s.seen = items.size();
+    s.weight = srs.weight;
+    s.items = std::move(srs.items);
+    result.strata.push_back(std::move(s));
+  }
+  return result;
+}
+
+/// One-call convenience that performs the grouping and the per-stratum
+/// sampling locally (no engine shuffle) — used by unit tests and by the
+/// sampler microbenchmarks to isolate algorithmic cost from shuffle cost.
+template <typename T, typename KeyFn>
+StratifiedSample<T> sts_sample_local(const std::vector<T>& batch, KeyFn key,
+                                     double fraction, streamapprox::Rng& rng,
+                                     bool exact = true) {
+  return sts_sample(group_by_stratum(batch, key), fraction, rng, exact);
+}
+
+}  // namespace streamapprox::sampling

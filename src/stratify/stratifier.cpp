@@ -1,0 +1,94 @@
+#include "stratify/stratifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace streamapprox::stratify {
+
+// ----------------------------------------------------- QuantileStratifier
+
+QuantileStratifier::QuantileStratifier(std::size_t strata,
+                                       std::size_t bootstrap_size)
+    : strata_(std::max<std::size_t>(1, strata)),
+      bootstrap_size_(std::max<std::size_t>(strata_, bootstrap_size)) {
+  bootstrap_.reserve(bootstrap_size_);
+}
+
+sampling::StratumId QuantileStratifier::assign(double value) {
+  if (!bootstrapped_) {
+    bootstrap_.push_back(value);
+    if (bootstrap_.size() >= bootstrap_size_) {
+      std::sort(bootstrap_.begin(), bootstrap_.end());
+      boundaries_.clear();
+      boundaries_.reserve(strata_ - 1);
+      for (std::size_t k = 1; k < strata_; ++k) {
+        const auto idx = std::min(
+            bootstrap_.size() - 1,
+            k * bootstrap_.size() / strata_);
+        boundaries_.push_back(bootstrap_[idx]);
+      }
+      bootstrap_.clear();
+      bootstrap_.shrink_to_fit();
+      bootstrapped_ = true;
+    }
+    return 0;
+  }
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return static_cast<sampling::StratumId>(it - boundaries_.begin());
+}
+
+// ------------------------------------------------------- KMeansStratifier
+
+KMeansStratifier::KMeansStratifier(std::size_t strata)
+    : strata_(std::max<std::size_t>(1, strata)) {
+  centroids_.reserve(strata_);
+  counts_.reserve(strata_);
+}
+
+sampling::StratumId KMeansStratifier::assign(double value) {
+  // Seeding: the first k DISTINCT values become centroids (duplicate seeds
+  // would create dead centroids).
+  if (centroids_.size() < strata_) {
+    bool duplicate = false;
+    for (double c : centroids_) {
+      if (c == value) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      centroids_.push_back(value);
+      counts_.push_back(1);
+      return static_cast<sampling::StratumId>(centroids_.size() - 1);
+    }
+  }
+  // Nearest-centroid assignment + MacQueen update.
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::max();
+  for (std::size_t k = 0; k < centroids_.size(); ++k) {
+    const double distance = std::abs(value - centroids_[k]);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = k;
+    }
+  }
+  ++counts_[best];
+  centroids_[best] +=
+      (value - centroids_[best]) / static_cast<double>(counts_[best]);
+  return static_cast<sampling::StratumId>(best);
+}
+
+std::vector<double> KMeansStratifier::centroids() const { return centroids_; }
+
+// --------------------------------------------------------------- adapter
+
+engine::Record restratify(const engine::Record& record,
+                          Stratifier& stratifier) {
+  engine::Record out = record;
+  out.stratum = stratifier.assign(record.value);
+  return out;
+}
+
+}  // namespace streamapprox::stratify

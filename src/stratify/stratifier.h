@@ -1,0 +1,104 @@
+// Stratification of UNLABELED streams — the paper's §7-II extension.
+//
+// OASRS assumes the input is already stratified by source. When it is not
+// ("more complex cases where we cannot classify strata based on the
+// sources, we need a pre-processing step to stratify the input data
+// stream"), the paper sketches two proposals: a bootstrap-based estimator
+// and a semi-supervised classifier. This module implements working
+// single-pass equivalents of both:
+//
+//  * QuantileStratifier — the bootstrap approach: buffer the first B values
+//    ("bootstrap sample"), cut the value range at the k-quantiles, then
+//    assign each arriving value to its quantile bin. Bins hold items of
+//    similar magnitude, which is exactly what keeps per-stratum variance
+//    (and thus Eq. 6/9 error bounds) small.
+//
+//  * KMeansStratifier — the classifier approach: k centroids over the value
+//    space, nearest-centroid assignment, online centroid updates (a
+//    streaming 1-D k-means). Unlike quantile cuts it adapts to drifting
+//    mixtures and recovers natural clusters even when their populations are
+//    very unbalanced.
+//
+// Both are deliberately one-dimensional (they stratify on the query value)
+// because that is the quantity whose variance the estimator cares about.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/record.h"
+#include "sampling/sample.h"
+
+namespace streamapprox::stratify {
+
+/// Assigns strata to unlabeled values, learning online.
+class Stratifier {
+ public:
+  virtual ~Stratifier() = default;
+
+  /// Assigns (and learns from) one value. Returned ids are stable and lie
+  /// in [0, stratum_count()).
+  virtual sampling::StratumId assign(double value) = 0;
+
+  /// Number of strata this stratifier produces.
+  virtual std::size_t stratum_count() const = 0;
+};
+
+/// Bootstrap-quantile stratifier (§7's bootstrap proposal).
+class QuantileStratifier final : public Stratifier {
+ public:
+  /// Creates a stratifier producing `strata` bins; the first
+  /// `bootstrap_size` values form the bootstrap sample from which the bin
+  /// boundaries (the k-quantiles) are computed. Until the bootstrap
+  /// completes, values are assigned to stratum 0.
+  QuantileStratifier(std::size_t strata, std::size_t bootstrap_size = 1024);
+
+  sampling::StratumId assign(double value) override;
+  std::size_t stratum_count() const override { return strata_; }
+
+  /// True once boundaries have been learned.
+  bool bootstrapped() const noexcept { return bootstrapped_; }
+
+  /// The learned bin boundaries (strata-1 ascending cut points).
+  const std::vector<double>& boundaries() const noexcept {
+    return boundaries_;
+  }
+
+ private:
+  std::size_t strata_;
+  std::size_t bootstrap_size_;
+  bool bootstrapped_ = false;
+  std::vector<double> bootstrap_;
+  std::vector<double> boundaries_;
+};
+
+/// Online 1-D k-means stratifier (§7's semi-supervised proposal).
+class KMeansStratifier final : public Stratifier {
+ public:
+  /// Creates a stratifier with `strata` centroids. The first `strata`
+  /// distinct values seed the centroids; afterwards each assignment moves
+  /// the chosen centroid toward the value with a per-centroid learning rate
+  /// of 1/count (the standard online k-means / MacQueen update).
+  explicit KMeansStratifier(std::size_t strata);
+
+  sampling::StratumId assign(double value) override;
+  std::size_t stratum_count() const override { return strata_; }
+
+  /// Current centroid positions (ascending id order = seeding order).
+  std::vector<double> centroids() const;
+
+ private:
+  std::size_t strata_;
+  std::vector<double> centroids_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Re-tags a record stream with learned strata: the pre-processing operator
+/// one places in front of OASRS when sources are unusable as strata. The
+/// record's value is untouched; only `stratum` is replaced.
+engine::Record restratify(const engine::Record& record,
+                          Stratifier& stratifier);
+
+}  // namespace streamapprox::stratify

@@ -1,0 +1,35 @@
+#include "workload/netflow.h"
+
+namespace streamapprox::workload {
+
+std::string protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kTcp:
+      return "TCP";
+    case Protocol::kUdp:
+      return "UDP";
+    case Protocol::kIcmp:
+      return "ICMP";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<SubStreamSpec> netflow_substreams(const NetFlowConfig& config) {
+  return {
+      {static_cast<sampling::StratumId>(Protocol::kTcp), config.tcp_bytes,
+       config.tcp_share * config.flows_per_sec},
+      {static_cast<sampling::StratumId>(Protocol::kUdp), config.udp_bytes,
+       config.udp_share * config.flows_per_sec},
+      {static_cast<sampling::StratumId>(Protocol::kIcmp), config.icmp_bytes,
+       config.icmp_share * config.flows_per_sec},
+  };
+}
+
+std::vector<engine::Record> generate_netflow(const NetFlowConfig& config,
+                                             std::size_t count,
+                                             std::uint64_t seed) {
+  SyntheticStream stream(netflow_substreams(config), seed);
+  return stream.generate_count(count);
+}
+
+}  // namespace streamapprox::workload

@@ -1,0 +1,112 @@
+// Synthetic input data streams (paper §5.1): multiple sub-streams with
+// configurable value distributions and arrival rates, merged into one
+// event-time-sorted stream. All the micro-benchmark workloads (Gaussian,
+// Poisson, the §5.4 arrival-rate mixes and the §5.7 skews) are factory
+// functions over this module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/record.h"
+
+namespace streamapprox::workload {
+
+/// Value distributions available to sub-streams.
+struct Gaussian {
+  double mu = 0.0;
+  double sigma = 1.0;
+};
+struct Poisson {
+  double lambda = 1.0;
+};
+struct Uniform {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+struct LogNormal {
+  double mu = 0.0;
+  double sigma = 1.0;
+};
+struct Gamma {
+  double shape = 1.0;
+  double scale = 1.0;
+};
+
+/// A sub-stream's value distribution.
+using Distribution =
+    std::variant<Gaussian, Poisson, Uniform, LogNormal, Gamma>;
+
+/// Draws one value from `dist`.
+double sample_value(const Distribution& dist, streamapprox::Rng& rng);
+
+/// Analytic mean of `dist` (used by distribution sanity tests).
+double distribution_mean(const Distribution& dist);
+
+/// Analytic variance of `dist`.
+double distribution_variance(const Distribution& dist);
+
+/// One sub-stream: a stratum with its own distribution and arrival rate.
+struct SubStreamSpec {
+  sampling::StratumId id = 0;
+  Distribution dist = Gaussian{};
+  double rate_per_sec = 1000.0;  ///< average arrivals per second
+};
+
+/// Generates the merged stream of all sub-streams.
+class SyntheticStream {
+ public:
+  /// Creates a generator; `seed` fixes all randomness (value draws and
+  /// arrival jitter). Throws std::invalid_argument on empty specs or
+  /// non-positive total rate.
+  SyntheticStream(std::vector<SubStreamSpec> specs, std::uint64_t seed);
+
+  /// Generates every arrival within [0, duration_s), sorted by event time.
+  /// Each sub-stream i contributes ~rate_i * duration records at jittered
+  /// uniform spacing.
+  std::vector<engine::Record> generate(double duration_s) const;
+
+  /// Generates approximately `count` records by choosing the duration
+  /// implied by the total rate (count / Σ rate_i seconds).
+  std::vector<engine::Record> generate_count(std::size_t count) const;
+
+  /// The configured sub-streams.
+  const std::vector<SubStreamSpec>& specs() const noexcept { return specs_; }
+
+  /// Total arrival rate Σ rate_i.
+  double total_rate() const noexcept { return total_rate_; }
+
+ private:
+  std::vector<SubStreamSpec> specs_;
+  double total_rate_ = 0.0;
+  std::uint64_t seed_;
+};
+
+// ---- Canned workloads from the paper -------------------------------------
+
+/// §5.1 Gaussian micro-benchmark: A(10,5), B(1000,50), C(10000,500), equal
+/// rates summing to `total_rate`.
+std::vector<SubStreamSpec> gaussian_substreams(double total_rate = 9000.0);
+
+/// §5.4 Gaussian sub-streams with explicit arrival rates A:B:C.
+std::vector<SubStreamSpec> gaussian_substreams_rates(double rate_a,
+                                                     double rate_b,
+                                                     double rate_c);
+
+/// §5.1 Poisson micro-benchmark: lambda = 10, 1000, 1e8, equal rates.
+std::vector<SubStreamSpec> poisson_substreams(double total_rate = 9000.0);
+
+/// §5.7-I skewed Gaussian: A(100,10) 80 %, B(1000,100) 19 %, C(10000,1000)
+/// 1 % of `total_rate`.
+std::vector<SubStreamSpec> skewed_gaussian_substreams(
+    double total_rate = 10000.0);
+
+/// §5.7-II skewed Poisson: A 80 %, B 19.99 %, C 0.01 % with lambda
+/// 10 / 1000 / 1e8 — the long-tail stress test.
+std::vector<SubStreamSpec> skewed_poisson_substreams(
+    double total_rate = 10000.0);
+
+}  // namespace streamapprox::workload

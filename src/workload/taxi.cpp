@@ -1,0 +1,49 @@
+#include "workload/taxi.h"
+
+#include <stdexcept>
+
+namespace streamapprox::workload {
+
+std::string borough_name(Borough borough) {
+  switch (borough) {
+    case Borough::kManhattan:
+      return "Manhattan";
+    case Borough::kBrooklyn:
+      return "Brooklyn";
+    case Borough::kQueens:
+      return "Queens";
+    case Borough::kBronx:
+      return "Bronx";
+    case Borough::kStatenIsland:
+      return "Staten Island";
+    case Borough::kNewark:
+      return "Newark (EWR)";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<SubStreamSpec> taxi_substreams(const TaxiConfig& config) {
+  if (config.shares.size() != kBoroughCount ||
+      config.distance_miles.size() != kBoroughCount) {
+    throw std::invalid_argument(
+        "TaxiConfig: need exactly one share and one distance distribution "
+        "per borough");
+  }
+  std::vector<SubStreamSpec> specs;
+  specs.reserve(kBoroughCount);
+  for (std::size_t b = 0; b < kBoroughCount; ++b) {
+    specs.push_back({static_cast<sampling::StratumId>(b),
+                     config.distance_miles[b],
+                     config.shares[b] * config.rides_per_sec});
+  }
+  return specs;
+}
+
+std::vector<engine::Record> generate_taxi_rides(const TaxiConfig& config,
+                                                std::size_t count,
+                                                std::uint64_t seed) {
+  SyntheticStream stream(taxi_substreams(config), seed);
+  return stream.generate_count(count);
+}
+
+}  // namespace streamapprox::workload

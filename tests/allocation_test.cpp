@@ -1,0 +1,69 @@
+// Tests for the per-stratum budget allocation policies.
+#include "sampling/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace streamapprox::sampling {
+namespace {
+
+std::size_t total(const std::vector<std::size_t>& caps) {
+  return std::accumulate(caps.begin(), caps.end(), std::size_t{0});
+}
+
+TEST(Allocation, EqualSplitsEvenly) {
+  const auto caps = allocate_capacities(30, 3, AllocationPolicy::kEqual);
+  EXPECT_EQ(caps, (std::vector<std::size_t>{10, 10, 10}));
+}
+
+TEST(Allocation, EqualDistributesRemainder) {
+  const auto caps = allocate_capacities(10, 3, AllocationPolicy::kEqual);
+  EXPECT_EQ(total(caps), 10u);
+  for (std::size_t c : caps) {
+    EXPECT_GE(c, 3u);
+    EXPECT_LE(c, 4u);
+  }
+}
+
+TEST(Allocation, ZeroBudget) {
+  const auto caps = allocate_capacities(0, 3, AllocationPolicy::kEqual);
+  EXPECT_EQ(caps, (std::vector<std::size_t>{0, 0, 0}));
+}
+
+TEST(Allocation, ZeroStrata) {
+  EXPECT_TRUE(allocate_capacities(10, 0, AllocationPolicy::kEqual).empty());
+}
+
+TEST(Allocation, ProportionalTracksCounts) {
+  const auto caps = allocate_capacities(
+      100, 3, AllocationPolicy::kProportional, {8000, 1500, 500});
+  EXPECT_EQ(total(caps), 100u);
+  EXPECT_GT(caps[0], caps[1]);
+  EXPECT_GT(caps[1], caps[2]);
+  EXPECT_NEAR(static_cast<double>(caps[0]), 80.0, 2.0);
+}
+
+TEST(Allocation, ProportionalGuaranteesLiveStrataASlot) {
+  const auto caps = allocate_capacities(
+      100, 3, AllocationPolicy::kProportional, {99999, 99999, 1});
+  EXPECT_GE(caps[2], 1u);
+  EXPECT_EQ(total(caps), 100u);
+}
+
+TEST(Allocation, ProportionalWithoutHistoryFallsBackToEqual) {
+  const auto caps =
+      allocate_capacities(30, 3, AllocationPolicy::kProportional, {});
+  EXPECT_EQ(caps, (std::vector<std::size_t>{10, 10, 10}));
+  const auto zeros = allocate_capacities(
+      30, 3, AllocationPolicy::kProportional, {0, 0, 0});
+  EXPECT_EQ(zeros, (std::vector<std::size_t>{10, 10, 10}));
+}
+
+TEST(Allocation, BudgetSmallerThanStrata) {
+  const auto caps = allocate_capacities(2, 5, AllocationPolicy::kEqual);
+  EXPECT_EQ(total(caps), 2u);
+}
+
+}  // namespace
+}  // namespace streamapprox::sampling

@@ -1,0 +1,172 @@
+// Tests for the Kafka-like broker: partition logs, offsets, keyed routing,
+// sealing, multi-consumer independence.
+#include "ingest/broker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace streamapprox::ingest {
+namespace {
+
+using engine::Record;
+
+Record make_record(sampling::StratumId stratum, double value,
+                   std::int64_t time_us = 0) {
+  return Record{stratum, value, time_us};
+}
+
+TEST(PartitionLog, AppendAssignsSequentialOffsets) {
+  PartitionLog log;
+  EXPECT_EQ(log.append(make_record(0, 1.0)), 0u);
+  EXPECT_EQ(log.append(make_record(0, 2.0)), 1u);
+  EXPECT_EQ(log.end_offset(), 2u);
+}
+
+TEST(PartitionLog, ReadFromOffset) {
+  PartitionLog log;
+  for (int i = 0; i < 10; ++i) log.append(make_record(0, i));
+  std::vector<Record> out;
+  const auto next = log.read(4, 3, out);
+  EXPECT_EQ(next, 7u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].value, 4.0);
+  EXPECT_EQ(out[2].value, 6.0);
+}
+
+TEST(PartitionLog, ReadPastEndReturnsNothing) {
+  PartitionLog log;
+  log.append(make_record(0, 1.0));
+  std::vector<Record> out;
+  EXPECT_EQ(log.read(5, 10, out), 5u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PartitionLog, AppendAfterSealThrows) {
+  PartitionLog log;
+  log.seal();
+  EXPECT_THROW(log.append(make_record(0, 1.0)), std::logic_error);
+}
+
+TEST(PartitionLog, BlockingReadWakesOnAppend) {
+  PartitionLog log;
+  std::vector<Record> out;
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.append(make_record(0, 7.0));
+  });
+  const auto next = log.read_blocking(0, 10, out, 2000);
+  writer.join();
+  EXPECT_EQ(next, 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 7.0);
+}
+
+TEST(PartitionLog, BlockingReadWakesOnSeal) {
+  PartitionLog log;
+  std::vector<Record> out;
+  std::thread sealer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.seal();
+  });
+  const auto next = log.read_blocking(0, 10, out, 2000);
+  sealer.join();
+  EXPECT_EQ(next, 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Broker, CreateTopicIdempotent) {
+  Broker broker;
+  auto& a = broker.create_topic("t", 4);
+  auto& b = broker.create_topic("t", 4);
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(broker.create_topic("t", 8), std::invalid_argument);
+}
+
+TEST(Broker, UnknownTopicThrows) {
+  Broker broker;
+  EXPECT_THROW(broker.topic("missing"), std::out_of_range);
+  EXPECT_FALSE(broker.has_topic("missing"));
+}
+
+TEST(Producer, RoutesByStratum) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  Producer producer(broker, "t");
+  for (int i = 0; i < 100; ++i) {
+    producer.send(make_record(static_cast<sampling::StratumId>(i % 8), i));
+  }
+  auto& topic = broker.topic("t");
+  // Stratum s always lands in partition s % 4; each partition holds records
+  // from exactly two strata here.
+  for (std::size_t p = 0; p < 4; ++p) {
+    std::vector<Record> out;
+    topic.partition(p).read(0, 1000, out);
+    EXPECT_EQ(out.size(), 25u);
+    for (const auto& record : out) {
+      EXPECT_EQ(record.stratum % 4, p);
+    }
+  }
+  EXPECT_EQ(topic.total_records(), 100u);
+}
+
+TEST(Consumer, ConsumesEverythingOnce) {
+  Broker broker;
+  broker.create_topic("t", 3);
+  Producer producer(broker, "t");
+  for (int i = 0; i < 1000; ++i) {
+    producer.send(make_record(static_cast<sampling::StratumId>(i % 5), i));
+  }
+  producer.finish();
+
+  Consumer consumer(broker, "t");
+  double sum = 0.0;
+  std::size_t count = 0;
+  while (!consumer.exhausted()) {
+    for (const auto& record : consumer.poll(64, 10)) {
+      sum += record.value;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 1000u);
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
+  EXPECT_EQ(consumer.consumed(), 1000u);
+}
+
+TEST(Consumer, TwoConsumersAreIndependent) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  Producer producer(broker, "t");
+  for (int i = 0; i < 100; ++i) producer.send(make_record(0, i));
+  producer.finish();
+
+  Consumer a(broker, "t");
+  Consumer b(broker, "t");
+  std::size_t count_a = 0;
+  std::size_t count_b = 0;
+  while (!a.exhausted()) count_a += a.poll(32, 10).size();
+  while (!b.exhausted()) count_b += b.poll(32, 10).size();
+  EXPECT_EQ(count_a, 100u);
+  EXPECT_EQ(count_b, 100u);  // replayable log, not a destructive queue
+}
+
+TEST(Consumer, ConcurrentProduceConsume) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  constexpr int kCount = 20000;
+  std::thread producer_thread([&] {
+    Producer producer(broker, "t");
+    for (int i = 0; i < kCount; ++i) producer.send(make_record(0, 1.0));
+    producer.finish();
+  });
+  Consumer consumer(broker, "t");
+  std::size_t received = 0;
+  while (!consumer.exhausted()) {
+    received += consumer.poll(256, 50).size();
+  }
+  producer_thread.join();
+  EXPECT_EQ(received, static_cast<std::size_t>(kCount));
+}
+
+}  // namespace
+}  // namespace streamapprox::ingest

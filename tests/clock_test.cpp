@@ -1,0 +1,79 @@
+// Tests for timing utilities: stopwatch, rate meter, token bucket.
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace streamapprox {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.millis(), 18.0);
+  EXPECT_LT(watch.seconds(), 2.0);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.restart();
+  EXPECT_LT(watch.millis(), 15.0);
+}
+
+TEST(Stopwatch, UnitsAreConsistent) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = watch.seconds();
+  const double ms = watch.millis();
+  const double us = watch.micros();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3 * 0.5);
+  EXPECT_NEAR(us, s * 1e6, s * 1e6 * 0.5);
+}
+
+TEST(RateMeter, CountsAndRates) {
+  RateMeter meter;
+  meter.add(500);
+  meter.add(500);
+  EXPECT_EQ(meter.count(), 1000u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(meter.rate(), 0.0);
+  // Rate is bounded above by count / elapsed-so-far.
+  EXPECT_LE(meter.rate(), 1000.0 / meter.seconds() + 1.0);
+}
+
+TEST(TokenBucket, PacesToApproximateRate) {
+  // 1000 tokens/s with a 10-token burst: draining 50 tokens must take at
+  // least ~40 ms (first 10 free).
+  TokenBucket bucket(1000.0, 10.0);
+  Stopwatch watch;
+  for (int i = 0; i < 50; ++i) bucket.acquire();
+  EXPECT_GE(watch.millis(), 30.0);
+  EXPECT_LT(watch.millis(), 500.0);
+}
+
+TEST(TokenBucket, BurstPassesImmediately) {
+  TokenBucket bucket(10.0, 100.0);
+  Stopwatch watch;
+  for (int i = 0; i < 100; ++i) bucket.acquire();
+  EXPECT_LT(watch.millis(), 50.0);
+}
+
+TEST(TokenBucket, TryAcquireRefillsOverTime) {
+  TokenBucket bucket(1000.0, 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_FALSE(bucket.try_acquire());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(bucket.try_acquire());  // ~20 tokens refilled
+}
+
+TEST(TokenBucket, FractionalAcquire) {
+  TokenBucket bucket(1000.0, 1.0);
+  EXPECT_TRUE(bucket.try_acquire(0.5));
+  EXPECT_TRUE(bucket.try_acquire(0.5));
+  EXPECT_FALSE(bucket.try_acquire(0.5));
+}
+
+}  // namespace
+}  // namespace streamapprox

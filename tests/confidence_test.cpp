@@ -1,0 +1,133 @@
+// Tests for the confidence machinery: normal quantiles, the 68-95-99.7 rule
+// (paper §3.3), Student-t widening, and ApproxResult interval arithmetic.
+#include "estimation/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "estimation/approx_result.h"
+#include "estimation/estimators.h"
+
+namespace streamapprox::estimation {
+namespace {
+
+TEST(ZValue, CanonicalQuantiles) {
+  EXPECT_NEAR(z_value(0.6827), 1.0, 0.001);
+  EXPECT_NEAR(z_value(0.9545), 2.0, 0.001);
+  EXPECT_NEAR(z_value(0.9973), 3.0, 0.001);
+  EXPECT_NEAR(z_value(0.95), 1.95996, 0.0005);
+  EXPECT_NEAR(z_value(0.99), 2.57583, 0.0005);
+}
+
+TEST(ZValue, ClampsDegenerateConfidences) {
+  EXPECT_GT(z_value(1.0), 6.0);   // clamped near 1: very large, finite
+  EXPECT_TRUE(std::isfinite(z_value(1.0)));
+  EXPECT_NEAR(z_value(0.0), 0.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(z_value(-1.0)));
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(normal_cdf(1.0), 0.841345, 1e-5);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.158655, 1e-5);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 0.001);
+}
+
+TEST(ZValueAndCdf, AreInverses) {
+  for (double confidence : {0.5, 0.8, 0.9, 0.95, 0.99}) {
+    const double z = z_value(confidence);
+    EXPECT_NEAR(2.0 * normal_cdf(z) - 1.0, confidence, 1e-6);
+  }
+}
+
+TEST(TValue, WidensSmallSamples) {
+  const double z = z_value(0.95);
+  EXPECT_GT(t_value(0.95, 5), z);
+  EXPECT_GT(t_value(0.95, 5), t_value(0.95, 30));
+  EXPECT_NEAR(t_value(0.95, 100000), z, 1e-3);
+}
+
+TEST(TValue, ApproximatesTableValues) {
+  // t_{0.975, 10} = 2.228, t_{0.975, 30} = 2.042 (two-sided 95%).
+  EXPECT_NEAR(t_value(0.95, 10), 2.228, 0.03);
+  EXPECT_NEAR(t_value(0.95, 30), 2.042, 0.01);
+}
+
+TEST(ApproxResult, IntervalArithmetic) {
+  ApproxResult result;
+  result.estimate = 100.0;
+  result.variance = 25.0;  // stddev 5
+  EXPECT_DOUBLE_EQ(result.stddev(), 5.0);
+  EXPECT_DOUBLE_EQ(result.error_bound(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(result.relative_bound(2.0), 0.1);
+  const auto ci = result.interval(2.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 90.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 110.0);
+  EXPECT_TRUE(ci.contains(100.0));
+  EXPECT_TRUE(ci.contains(90.0));
+  EXPECT_FALSE(ci.contains(89.999));
+  EXPECT_DOUBLE_EQ(ci.width(), 20.0);
+}
+
+TEST(ApproxResult, ZeroEstimateRelativeBound) {
+  ApproxResult result;
+  result.estimate = 0.0;
+  result.variance = 4.0;
+  EXPECT_EQ(result.relative_bound(), 0.0);
+}
+
+TEST(ApproxResult, ToStringMentionsBound) {
+  ApproxResult result;
+  result.estimate = 10.0;
+  result.variance = 1.0;
+  const auto text = result.to_string(2.0);
+  EXPECT_NE(text.find("10"), std::string::npos);
+  EXPECT_NE(text.find("+/-"), std::string::npos);
+}
+
+// The "68-95-99.7" property end-to-end (paper §3.3): the true SUM must fall
+// inside the z-sigma interval with roughly the advertised frequency.
+TEST(CoverageProperty, SixtyEightNinetyFive) {
+  streamapprox::Rng rng(1);
+  std::vector<double> population;
+  double exact = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.exponential(0.1);  // skewed on purpose
+    population.push_back(v);
+    exact += v;
+  }
+  constexpr std::size_t kSample = 500;
+  int cover1 = 0;
+  int cover2 = 0;
+  int cover3 = 0;
+  constexpr int kTrials = 600;
+  for (int t = 0; t < kTrials; ++t) {
+    StratumSummary summary;
+    summary.stratum = 0;
+    summary.seen = population.size();
+    // Sample without replacement.
+    std::vector<std::size_t> index(population.size());
+    for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+    for (std::size_t i = 0; i < kSample; ++i) {
+      const auto j = i + rng.uniform_int(index.size() - i);
+      std::swap(index[i], index[j]);
+      const double v = population[index[i]];
+      summary.sum += v;
+      summary.sum_sq += v * v;
+    }
+    summary.sampled = kSample;
+    summary.weight = static_cast<double>(summary.seen) / kSample;
+    const auto result = estimate_sum({summary});
+    if (result.interval(1.0).contains(exact)) ++cover1;
+    if (result.interval(2.0).contains(exact)) ++cover2;
+    if (result.interval(3.0).contains(exact)) ++cover3;
+  }
+  EXPECT_NEAR(cover1 / static_cast<double>(kTrials), 0.68, 0.07);
+  EXPECT_NEAR(cover2 / static_cast<double>(kTrials), 0.95, 0.04);
+  EXPECT_GE(cover3 / static_cast<double>(kTrials), 0.985);
+}
+
+}  // namespace
+}  // namespace streamapprox::estimation

@@ -1,0 +1,99 @@
+// Tests for the virtual cost function (§7): every budget kind maps to a
+// sensible sample size.
+#include "estimation/cost_function.h"
+
+#include <gtest/gtest.h>
+
+namespace streamapprox::estimation {
+namespace {
+
+StratumSummary history(std::uint64_t seen, std::size_t sampled, double mean,
+                       double spread) {
+  StratumSummary s;
+  s.stratum = 0;
+  s.seen = seen;
+  s.sampled = sampled;
+  // Construct sum/sum_sq with the requested mean and variance ~ spread^2.
+  s.sum = mean * static_cast<double>(sampled);
+  s.sum_sq = (mean * mean + spread * spread) * static_cast<double>(sampled);
+  s.weight = static_cast<double>(seen) / static_cast<double>(sampled);
+  return s;
+}
+
+TEST(CostFunction, FractionBudget) {
+  CostFunction cost;
+  EXPECT_EQ(cost.sample_size(QueryBudget::fraction(0.5), 1000), 500u);
+  EXPECT_EQ(cost.sample_size(QueryBudget::fraction(1.0), 1000), 1000u);
+  EXPECT_EQ(cost.sample_size(QueryBudget::fraction(0.0), 1000), 0u);
+  // Fractions beyond [0,1] are clamped.
+  EXPECT_EQ(cost.sample_size(QueryBudget::fraction(1.5), 1000), 1000u);
+}
+
+TEST(CostFunction, LatencyBudgetUsesCalibratedThroughput) {
+  CostModel model;
+  model.items_per_ms_per_worker = 100.0;
+  model.workers = 4;
+  CostFunction cost(model);
+  // 10 ms * 100 items/ms * 4 workers = 4000 items max.
+  EXPECT_EQ(cost.sample_size(QueryBudget::latency_ms(10.0), 100000), 4000u);
+  // Capacity above arrivals: everything fits.
+  EXPECT_EQ(cost.sample_size(QueryBudget::latency_ms(10.0), 2000), 2000u);
+}
+
+TEST(CostFunction, CalibrationUpdatesModel) {
+  CostFunction cost;
+  cost.calibrate_throughput(250.0);
+  EXPECT_DOUBLE_EQ(cost.model().items_per_ms_per_worker, 250.0);
+  cost.calibrate_throughput(-5.0);  // rejected
+  EXPECT_DOUBLE_EQ(cost.model().items_per_ms_per_worker, 250.0);
+}
+
+TEST(CostFunction, TokenBudgetPulsarStyle) {
+  CostModel model;
+  model.tokens_per_item = 2.0;
+  CostFunction cost(model);
+  EXPECT_EQ(cost.sample_size(QueryBudget::tokens(1000.0), 100000), 500u);
+  EXPECT_EQ(cost.sample_size(QueryBudget::tokens(1e9), 1234), 1234u);
+}
+
+TEST(CostFunction, AccuracyBudgetWithoutHistoryDefaultsConservative) {
+  CostFunction cost;
+  const auto size =
+      cost.sample_size(QueryBudget::relative_error(0.01), 10000, {});
+  EXPECT_EQ(size, 1000u);  // 10% starting fraction
+}
+
+TEST(CostFunction, AccuracyBudgetShrinksWithLooserTarget) {
+  CostFunction cost;
+  const std::vector<StratumSummary> last = {history(10000, 500, 100.0, 20.0)};
+  const auto tight =
+      cost.sample_size(QueryBudget::relative_error(0.001), 10000, last);
+  const auto loose =
+      cost.sample_size(QueryBudget::relative_error(0.01), 10000, last);
+  EXPECT_GT(tight, loose);
+  EXPECT_LE(tight, 10000u);  // capped at arrivals
+  EXPECT_GE(loose, 1u);
+}
+
+TEST(CostFunction, AccuracyBudgetGrowsWithVariance) {
+  CostFunction cost;
+  const std::vector<StratumSummary> calm = {history(10000, 500, 100.0, 5.0)};
+  const std::vector<StratumSummary> noisy = {
+      history(10000, 500, 100.0, 80.0)};
+  const auto calm_size =
+      cost.sample_size(QueryBudget::relative_error(0.01), 10000, calm);
+  const auto noisy_size =
+      cost.sample_size(QueryBudget::relative_error(0.01), 10000, noisy);
+  EXPECT_GT(noisy_size, calm_size);
+}
+
+TEST(CostFunction, ZeroVarianceHistoryFallsBack) {
+  CostFunction cost;
+  const std::vector<StratumSummary> flat = {history(10000, 500, 100.0, 0.0)};
+  const auto size =
+      cost.sample_size(QueryBudget::relative_error(0.01), 10000, flat);
+  EXPECT_EQ(size, 1000u);
+}
+
+}  // namespace
+}  // namespace streamapprox::estimation

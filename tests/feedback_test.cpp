@@ -1,0 +1,84 @@
+// Tests for the adaptive feedback controller (§4.2).
+#include "estimation/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamapprox::estimation {
+namespace {
+
+FeedbackConfig config_with_target(double target) {
+  FeedbackConfig config;
+  config.target_relative_error = target;
+  return config;
+}
+
+TEST(Feedback, GrowsWhenBoundTooLarge) {
+  FeedbackController controller(config_with_target(0.01), 1000);
+  const auto next = controller.update(0.02);  // 2x over target
+  EXPECT_GT(next, 1000u);
+}
+
+TEST(Feedback, ShrinksWhenBoundComfortable) {
+  FeedbackController controller(config_with_target(0.01), 1000);
+  const auto next = controller.update(0.002);  // 5x better than needed
+  EXPECT_LT(next, 1000u);
+}
+
+TEST(Feedback, ExactResultShrinksGently) {
+  FeedbackController controller(config_with_target(0.01), 1000);
+  const auto next = controller.update(0.0);
+  EXPECT_LT(next, 1000u);
+  EXPECT_GE(next, 500u);  // bounded by max_step/smoothing
+}
+
+TEST(Feedback, RespectsBudgetBounds) {
+  FeedbackConfig config = config_with_target(0.01);
+  config.min_budget = 100;
+  config.max_budget = 2000;
+  FeedbackController controller(config, 1000);
+  for (int i = 0; i < 20; ++i) controller.update(1.0);  // huge error
+  EXPECT_EQ(controller.budget(), 2000u);
+  for (int i = 0; i < 40; ++i) controller.update(1e-9);
+  EXPECT_EQ(controller.budget(), 100u);
+}
+
+TEST(Feedback, InitialBudgetClamped) {
+  FeedbackConfig config = config_with_target(0.01);
+  config.min_budget = 64;
+  config.max_budget = 128;
+  EXPECT_EQ(FeedbackController(config, 1).budget(), 64u);
+  EXPECT_EQ(FeedbackController(config, 1 << 20).budget(), 128u);
+}
+
+TEST(Feedback, StepIsBounded) {
+  FeedbackConfig config = config_with_target(0.01);
+  config.smoothing = 1.0;  // undamped
+  config.max_step = 4.0;
+  FeedbackController controller(config, 1000);
+  const auto next = controller.update(10.0);  // astronomically over target
+  EXPECT_LE(next, 4000u);
+}
+
+// Convergence: simulate a system whose observed bound follows the
+// 1/sqrt(budget) law and verify the controller settles near the budget that
+// meets the target.
+TEST(Feedback, ConvergesToTargetBudget) {
+  const double target = 0.01;
+  // bound(budget) = c / sqrt(budget); with c chosen so budget*=10000 meets
+  // the target exactly.
+  const double c = target * std::sqrt(10000.0);
+  FeedbackController controller(config_with_target(target), 500);
+  std::size_t budget = controller.budget();
+  for (int i = 0; i < 40; ++i) {
+    const double bound = c / std::sqrt(static_cast<double>(budget));
+    budget = controller.update(bound);
+  }
+  EXPECT_NEAR(static_cast<double>(budget), 10000.0, 1500.0);
+  // And the achieved bound meets the target.
+  EXPECT_LE(c / std::sqrt(static_cast<double>(budget)), target * 1.1);
+}
+
+}  // namespace
+}  // namespace streamapprox::estimation

@@ -1,0 +1,141 @@
+// Unit tests for the weighted histogram (approximate linear query support).
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace streamapprox {
+namespace {
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, RoutesValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.99);
+  h.add(2.0);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.bucket(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 6.0);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0, 2.5);
+  h.add(6.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.bucket(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bucket(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.bucket(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.bucket(4), 1.0);
+  EXPECT_DOUBLE_EQ(a.total(), 3.0);
+}
+
+TEST(Histogram, MergeShapeMismatchThrows) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 4);
+  Histogram c(0.0, 9.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileUniform) {
+  Histogram h(0.0, 100.0, 100);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform(0.0, 100.0));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.1), 10.0, 2.0);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, L1DistanceIdenticalIsZero) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_NEAR(a.l1_distance(b), 0.0, 1e-12);
+}
+
+TEST(Histogram, L1DistanceDisjointIsTwo) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.0);
+  b.add(9.0);
+  EXPECT_NEAR(a.l1_distance(b), 2.0, 1e-12);
+}
+
+TEST(Histogram, WeightedSampleRecreatesPopulationShape) {
+  // A 10%-sampled histogram with weight 10 should approximate the full
+  // histogram — the "statistically recreate the original items" property the
+  // weights exist for.
+  Histogram full(0.0, 100.0, 20);
+  Histogram sampled(0.0, 100.0, 20);
+  Rng rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.gaussian(50.0, 15.0);
+    full.add(x);
+    if (rng.bernoulli(0.1)) sampled.add(x, 10.0);
+  }
+  EXPECT_LT(full.l1_distance(sampled), 0.05);
+  EXPECT_NEAR(sampled.total(), full.total(), full.total() * 0.05);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0.0);
+  EXPECT_EQ(h.bucket(1), 0.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamapprox

@@ -1,0 +1,195 @@
+// Integration tests across modules: full pipelines over every workload, the
+// paper's qualitative orderings, and failure injection.
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "core/systems.h"
+#include "workload/netflow.h"
+#include "workload/synthetic.h"
+#include "workload/taxi.h"
+
+namespace streamapprox::core {
+namespace {
+
+SystemConfig fast_config(double fraction = 0.4) {
+  SystemConfig config;
+  config.sampling_fraction = fraction;
+  config.workers = 2;
+  config.batch_interval_us = 250'000;
+  config.window = {1'000'000, 500'000};
+  config.query_cost = engine::QueryCost{0};
+  config.stage_overhead = std::chrono::microseconds(0);
+  return config;
+}
+
+double run_loss(SystemKind kind, const std::vector<engine::Record>& records,
+                const SystemConfig& config, const QuerySpec& query) {
+  const auto result = run_system(kind, records, config);
+  const auto exact = exact_window_results(records, config.window);
+  return mean_accuracy_loss(evaluate_windows(result.windows, query),
+                            evaluate_windows(exact, query), query);
+}
+
+TEST(Integration, NetworkCaseStudyPerProtocolSums) {
+  workload::NetFlowConfig netflow;
+  netflow.flows_per_sec = 40000.0;
+  const auto records = workload::generate_netflow(netflow, 160000, 31);
+  const auto config = fast_config(0.6);
+  QuerySpec query{Aggregation::kSum, true};
+  for (SystemKind kind : {SystemKind::kFlinkApprox, SystemKind::kSparkApprox,
+                          SystemKind::kSparkSTS}) {
+    const double loss = run_loss(kind, records, config, query);
+    EXPECT_LT(loss, 0.12) << system_name(kind);
+  }
+}
+
+TEST(Integration, TaxiCaseStudyPerBoroughMeans) {
+  workload::TaxiConfig taxi;
+  taxi.rides_per_sec = 40000.0;
+  const auto records = workload::generate_taxi_rides(taxi, 160000, 37);
+  const auto config = fast_config(0.6);
+  QuerySpec query{Aggregation::kMean, true};
+  for (SystemKind kind : {SystemKind::kFlinkApprox, SystemKind::kSparkApprox,
+                          SystemKind::kSparkSTS}) {
+    const double loss = run_loss(kind, records, config, query);
+    EXPECT_LT(loss, 0.08) << system_name(kind);
+  }
+}
+
+TEST(Integration, StratifiedBeatsSrsOnSkewedPoisson) {
+  // The §5.7-II long-tail result: stratified systems (OASRS, STS) must beat
+  // SRS on the skewed Poisson mix where the 0.01% sub-stream dominates.
+  workload::SyntheticStream stream(
+      workload::skewed_poisson_substreams(40000.0), 41);
+  const auto records = stream.generate(4.0);
+  const auto config = fast_config(0.2);
+  QuerySpec query{Aggregation::kMean, false};
+  const double srs = run_loss(SystemKind::kSparkSRS, records, config, query);
+  const double oasrs_flink =
+      run_loss(SystemKind::kFlinkApprox, records, config, query);
+  const double oasrs_spark =
+      run_loss(SystemKind::kSparkApprox, records, config, query);
+  EXPECT_LT(oasrs_flink, srs);
+  EXPECT_LT(oasrs_spark, srs);
+  EXPECT_LT(oasrs_flink, 0.05);
+}
+
+TEST(Integration, AccuracyImprovesWithFraction) {
+  workload::SyntheticStream stream(
+      workload::skewed_gaussian_substreams(40000.0), 43);
+  const auto records = stream.generate(4.0);
+  QuerySpec query{Aggregation::kMean, false};
+  auto config = fast_config();
+  std::vector<double> losses;
+  for (double fraction : {0.1, 0.4, 0.8}) {
+    config.sampling_fraction = fraction;
+    losses.push_back(
+        run_loss(SystemKind::kSparkApprox, records, config, query));
+  }
+  // Not necessarily strictly monotone per-seed, but the 0.8 run must beat
+  // the 0.1 run clearly.
+  EXPECT_LT(losses[2], losses[0] + 1e-9);
+}
+
+TEST(Integration, ErrorBoundsCoverTruthAcrossWindows) {
+  workload::SyntheticStream stream(workload::gaussian_substreams(40000.0),
+                                   47);
+  const auto records = stream.generate(4.0);
+  const auto config = fast_config(0.3);
+  QuerySpec query{Aggregation::kSum, false};
+  const auto result = run_system(SystemKind::kFlinkApprox, records, config);
+  const auto exact = exact_window_results(records, config.window);
+  const auto approx_estimates = evaluate_windows(result.windows, query);
+  const auto exact_estimates = evaluate_windows(exact, query);
+
+  std::unordered_map<std::int64_t, double> truth;
+  for (const auto& w : exact_estimates) {
+    truth[w.window_end_us] = w.overall.estimate;
+  }
+  int covered = 0;
+  int total = 0;
+  for (const auto& w : approx_estimates) {
+    auto it = truth.find(w.window_end_us);
+    if (it == truth.end()) continue;
+    ++total;
+    if (w.overall.interval(3.0).contains(it->second)) ++covered;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(static_cast<double>(covered) / total, 0.9);
+}
+
+// ------------------------------- failure injection / degenerate inputs ----
+
+TEST(Integration, SingleStratumStream) {
+  workload::SyntheticStream stream(
+      {{0, workload::Gaussian{50.0, 5.0}, 20000.0}}, 53);
+  const auto records = stream.generate(3.0);
+  const auto config = fast_config(0.3);
+  QuerySpec query{Aggregation::kMean, false};
+  for (SystemKind kind : kAllSystems) {
+    const double loss = run_loss(kind, records, config, query);
+    EXPECT_LT(loss, 0.05) << system_name(kind);
+  }
+}
+
+TEST(Integration, ZeroVarianceStratum) {
+  // Constant values: estimates must be exact and variance zero.
+  workload::SyntheticStream stream(
+      {{0, workload::Uniform{5.0, 5.0 + 1e-12}, 20000.0}}, 59);
+  const auto records = stream.generate(2.0);
+  const auto config = fast_config(0.3);
+  const auto result = run_system(SystemKind::kFlinkApprox, records, config);
+  QuerySpec query{Aggregation::kMean, false};
+  const auto estimates = evaluate_windows(result.windows, query);
+  for (const auto& w : estimates) {
+    EXPECT_NEAR(w.overall.estimate, 5.0, 1e-6);
+    // Tiny catastrophic-cancellation residue in sum_sq is tolerated.
+    EXPECT_NEAR(w.overall.stddev(), 0.0, 1e-6);
+  }
+}
+
+TEST(Integration, TinyFraction) {
+  workload::SyntheticStream stream(workload::gaussian_substreams(40000.0),
+                                   61);
+  const auto records = stream.generate(2.0);
+  const auto config = fast_config(0.01);
+  for (SystemKind kind :
+       {SystemKind::kSparkApprox, SystemKind::kFlinkApprox,
+        SystemKind::kSparkSRS, SystemKind::kSparkSTS}) {
+    const auto result = run_system(kind, records, config);
+    EXPECT_EQ(result.records_processed, records.size())
+        << system_name(kind);
+    EXPECT_FALSE(result.windows.empty()) << system_name(kind);
+  }
+}
+
+TEST(Integration, FractionOneMatchesNative) {
+  workload::SyntheticStream stream(workload::gaussian_substreams(30000.0),
+                                   67);
+  const auto records = stream.generate(2.0);
+  const auto config = fast_config(1.0);
+  QuerySpec query{Aggregation::kSum, false};
+  // At fraction 1.0 STS keeps everything: estimates equal to exact.
+  const double sts = run_loss(SystemKind::kSparkSTS, records, config, query);
+  EXPECT_NEAR(sts, 0.0, 1e-9);
+}
+
+TEST(Integration, BurstyStreamWithQuietPeriods) {
+  // Records only in seconds [0,1) and [3,4): slides in between are empty.
+  workload::SyntheticStream stream(workload::gaussian_substreams(30000.0),
+                                   71);
+  auto records = stream.generate(1.0);
+  auto late = stream.generate(1.0);
+  for (auto& record : late) record.event_time_us += 3'000'000;
+  records.insert(records.end(), late.begin(), late.end());
+  const auto config = fast_config(0.4);
+  for (SystemKind kind : {SystemKind::kSparkApprox,
+                          SystemKind::kFlinkApprox}) {
+    const auto result = run_system(kind, records, config);
+    EXPECT_EQ(result.records_processed, records.size())
+        << system_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace streamapprox::core

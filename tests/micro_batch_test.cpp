@@ -1,0 +1,155 @@
+// Tests for the micro-batch stream runtime: batching by event time, window
+// assembly, throughput accounting.
+#include "engine/batched/micro_batch.h"
+
+#include <gtest/gtest.h>
+
+namespace streamapprox::engine::batched {
+namespace {
+
+std::vector<Record> steady_stream(std::size_t n, std::int64_t spacing_us) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(Record{static_cast<sampling::StratumId>(i % 2),
+                             1.0,
+                             static_cast<std::int64_t>(i) * spacing_us});
+  }
+  return records;
+}
+
+// A job that exactly counts its batch into one cell.
+estimation::StratumSummary count_cell(std::span<const Record> batch) {
+  estimation::StratumSummary cell;
+  cell.stratum = 0;
+  cell.seen = batch.size();
+  cell.sampled = batch.size();
+  for (const auto& record : batch) cell.sum += record.value;
+  return cell;
+}
+
+TEST(MicroBatch, RejectsMisalignedSlide) {
+  MicroBatchConfig config;
+  config.batch_interval_us = 300;
+  config.window = {1000, 1000};
+  EXPECT_THROW(
+      run_micro_batches({}, config,
+                        [](std::size_t, std::span<const Record>) {
+                          return std::vector<estimation::StratumSummary>{};
+                        }),
+      std::invalid_argument);
+}
+
+TEST(MicroBatch, ProcessesEveryRecordOnce) {
+  // 10k records, 1 per 100us => 1s of stream; batches of 100ms.
+  const auto records = steady_stream(10000, 100);
+  MicroBatchConfig config;
+  config.batch_interval_us = 100'000;
+  config.window = {200'000, 100'000};
+  std::size_t seen = 0;
+  std::size_t batches = 0;
+  auto result = run_micro_batches(
+      records, config,
+      [&](std::size_t, std::span<const Record> batch) {
+        seen += batch.size();
+        ++batches;
+        return std::vector<estimation::StratumSummary>{count_cell(batch)};
+      });
+  EXPECT_EQ(seen, records.size());
+  EXPECT_EQ(result.records_processed, records.size());
+  EXPECT_EQ(batches, 10u);
+  EXPECT_GT(result.throughput(), 0.0);
+}
+
+TEST(MicroBatch, BatchesRespectEventTime) {
+  const auto records = steady_stream(1000, 1000);  // 1ms apart, 1s total
+  MicroBatchConfig config;
+  config.batch_interval_us = 250'000;  // 250 ms => 250 records per batch
+  config.window = {500'000, 250'000};
+  std::vector<std::size_t> batch_sizes;
+  run_micro_batches(records, config,
+                    [&](std::size_t, std::span<const Record> batch) {
+                      batch_sizes.push_back(batch.size());
+                      return std::vector<estimation::StratumSummary>{};
+                    });
+  ASSERT_EQ(batch_sizes.size(), 4u);
+  for (auto size : batch_sizes) EXPECT_EQ(size, 250u);
+}
+
+TEST(MicroBatch, WindowsAggregateAcrossBatches) {
+  // Window 400ms, slide 200ms, batch 100ms => 2 batches/slide, 2 slides/win.
+  const auto records = steady_stream(1000, 1000);  // 1s of stream
+  MicroBatchConfig config;
+  config.batch_interval_us = 100'000;
+  config.window = {400'000, 200'000};
+  auto result = run_micro_batches(
+      records, config, [&](std::size_t, std::span<const Record> batch) {
+        return std::vector<estimation::StratumSummary>{count_cell(batch)};
+      });
+  ASSERT_GE(result.windows.size(), 3u);
+  // Each full window covers 400ms = 400 records; cells carry exact counts.
+  for (const auto& window : result.windows) {
+    std::uint64_t total = 0;
+    for (const auto& cell : window.cells) total += cell.seen;
+    EXPECT_EQ(total, 400u) << "window ending " << window.window_end_us;
+  }
+  // Window boundaries advance by the slide.
+  EXPECT_EQ(result.windows[0].window_end_us, 400'000);
+  EXPECT_EQ(result.windows[1].window_end_us, 600'000);
+}
+
+TEST(MicroBatch, TrailingPartialSlideFlushed) {
+  // 1.05s of stream with 200ms slides: the final 50ms lands in a partial
+  // slide that must still surface in a window.
+  const auto records = steady_stream(1050, 1000);
+  MicroBatchConfig config;
+  config.batch_interval_us = 100'000;
+  config.window = {200'000, 200'000};  // tumbling
+  auto result = run_micro_batches(
+      records, config, [&](std::size_t, std::span<const Record> batch) {
+        return std::vector<estimation::StratumSummary>{count_cell(batch)};
+      });
+  std::uint64_t total = 0;
+  for (const auto& window : result.windows) {
+    for (const auto& cell : window.cells) total += cell.seen;
+  }
+  EXPECT_EQ(total, 1050u);
+}
+
+TEST(MicroBatch, EmptyStream) {
+  MicroBatchConfig config;
+  config.batch_interval_us = 100'000;
+  config.window = {200'000, 100'000};
+  auto result = run_micro_batches(
+      {}, config, [&](std::size_t, std::span<const Record> batch) {
+        return std::vector<estimation::StratumSummary>{count_cell(batch)};
+      });
+  EXPECT_EQ(result.records_processed, 0u);
+}
+
+TEST(MicroBatch, GapsProduceEmptyBatches) {
+  // Records only in the first and last 100ms of a 1s stream.
+  std::vector<Record> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back({0, 1.0, static_cast<std::int64_t>(i * 1000)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    records.push_back({0, 1.0, 900'000 + static_cast<std::int64_t>(i * 1000)});
+  }
+  MicroBatchConfig config;
+  config.batch_interval_us = 100'000;
+  config.window = {100'000, 100'000};
+  std::size_t batches = 0;
+  std::size_t empty_batches = 0;
+  run_micro_batches(records, config,
+                    [&](std::size_t, std::span<const Record> batch) {
+                      ++batches;
+                      if (batch.empty()) ++empty_batches;
+                      return std::vector<estimation::StratumSummary>{};
+                    });
+  EXPECT_EQ(batches, 10u);
+  EXPECT_EQ(empty_batches, 8u);
+}
+
+}  // namespace
+}  // namespace streamapprox::engine::batched

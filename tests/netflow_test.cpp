@@ -1,0 +1,70 @@
+// Tests for the CAIDA-like NetFlow generator (case study §6.2 substitute).
+#include "workload/netflow.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace streamapprox::workload {
+namespace {
+
+TEST(NetFlow, ProtocolNames) {
+  EXPECT_EQ(protocol_name(Protocol::kTcp), "TCP");
+  EXPECT_EQ(protocol_name(Protocol::kUdp), "UDP");
+  EXPECT_EQ(protocol_name(Protocol::kIcmp), "ICMP");
+}
+
+TEST(NetFlow, SharesMatchPaperDataset) {
+  // 115,472,322 TCP / 67,098,852 UDP / 2,801,002 ICMP.
+  NetFlowConfig config;
+  const auto records = generate_netflow(config, 200000, 17);
+  std::unordered_map<sampling::StratumId, double> counts;
+  for (const auto& record : records) counts[record.stratum] += 1.0;
+  const double total = static_cast<double>(records.size());
+  EXPECT_NEAR(counts[0] / total, 0.623, 0.01);
+  EXPECT_NEAR(counts[1] / total, 0.362, 0.01);
+  EXPECT_NEAR(counts[2] / total, 0.015, 0.005);
+}
+
+TEST(NetFlow, FlowSizesArePositiveAndHeavyTailed) {
+  const auto records = generate_netflow(NetFlowConfig{}, 100000, 23);
+  streamapprox::RunningStats tcp;
+  for (const auto& record : records) {
+    ASSERT_GT(record.value, 0.0);
+    if (record.stratum == 0) tcp.add(record.value);
+  }
+  // Heavy tail: mean far above the median.
+  std::vector<double> tcp_values;
+  for (const auto& record : records) {
+    if (record.stratum == 0) tcp_values.push_back(record.value);
+  }
+  const double median = streamapprox::quantile_of(tcp_values, 0.5);
+  EXPECT_GT(tcp.mean(), 2.0 * median);
+}
+
+TEST(NetFlow, ProtocolsHaveDistinctSizeScales) {
+  const auto records = generate_netflow(NetFlowConfig{}, 100000, 29);
+  std::unordered_map<sampling::StratumId, streamapprox::RunningStats> stats;
+  for (const auto& record : records) stats[record.stratum].add(record.value);
+  EXPECT_GT(stats[0].mean(), stats[1].mean());  // TCP flows > UDP flows
+  EXPECT_GT(stats[1].mean(), stats[2].mean());  // UDP flows > ICMP flows
+}
+
+TEST(NetFlow, SortedEventTimes) {
+  const auto records = generate_netflow(NetFlowConfig{}, 20000, 31);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    ASSERT_LE(records[i - 1].event_time_us, records[i].event_time_us);
+  }
+}
+
+TEST(NetFlow, Deterministic) {
+  const auto a = generate_netflow(NetFlowConfig{}, 1000, 5);
+  const auto b = generate_netflow(NetFlowConfig{}, 1000, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace streamapprox::workload

@@ -1,0 +1,229 @@
+// Tests for OASRS (paper Algorithm 3): per-stratum fairness, Eq. 1 weights,
+// on-the-fly stratum discovery, interval reset semantics, budget allocation,
+// distributed merge.
+#include "sampling/oasrs.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "engine/record.h"
+
+namespace streamapprox::sampling {
+namespace {
+
+using streamapprox::engine::Record;
+
+Record make_record(StratumId stratum, double value) {
+  return Record{stratum, value, 0};
+}
+
+OasrsConfig fixed_capacity_config(std::size_t capacity, std::uint64_t seed) {
+  OasrsConfig config;
+  config.total_budget = 0;
+  config.per_stratum_capacity = capacity;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Oasrs, DiscoversStrataOnTheFly) {
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(4, 1));
+  sampler.offer(make_record(7, 1.0));
+  sampler.offer(make_record(3, 2.0));
+  sampler.offer(make_record(7, 3.0));
+  EXPECT_EQ(sampler.stratum_count(), 2u);
+  auto sample = sampler.take();
+  ASSERT_EQ(sample.strata.size(), 2u);
+  // First-seen order.
+  EXPECT_EQ(sample.strata[0].stratum, 7u);
+  EXPECT_EQ(sample.strata[1].stratum, 3u);
+}
+
+TEST(Oasrs, NoSubStreamOverlooked) {
+  // One giant stratum and one tiny one: the tiny one must still be fully
+  // represented — the core property SRS lacks (§3.2).
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(8, 2));
+  for (int i = 0; i < 100000; ++i) sampler.offer(make_record(0, 1.0));
+  for (int i = 0; i < 3; ++i) sampler.offer(make_record(1, 100.0));
+  auto sample = sampler.take();
+  ASSERT_EQ(sample.strata.size(), 2u);
+  const auto& tiny = sample.strata[1];
+  EXPECT_EQ(tiny.stratum, 1u);
+  EXPECT_EQ(tiny.items.size(), 3u);     // all of them
+  EXPECT_DOUBLE_EQ(tiny.weight, 1.0);   // each represents itself
+}
+
+TEST(Oasrs, WeightsFollowEquationOne) {
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(10, 3));
+  for (int i = 0; i < 50; ++i) sampler.offer(make_record(0, 1.0));   // C>N
+  for (int i = 0; i < 5; ++i) sampler.offer(make_record(1, 1.0));    // C<=N
+  auto sample = sampler.take();
+  ASSERT_EQ(sample.strata.size(), 2u);
+  EXPECT_DOUBLE_EQ(sample.strata[0].weight, 5.0);
+  EXPECT_EQ(sample.strata[0].seen, 50u);
+  EXPECT_EQ(sample.strata[0].items.size(), 10u);
+  EXPECT_DOUBLE_EQ(sample.strata[1].weight, 1.0);
+  EXPECT_EQ(sample.strata[1].items.size(), 5u);
+}
+
+TEST(Oasrs, TakeResetsForNextInterval) {
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(4, 4));
+  for (int i = 0; i < 10; ++i) sampler.offer(make_record(0, 1.0));
+  auto first = sampler.take();
+  EXPECT_EQ(first.strata.size(), 1u);
+  EXPECT_EQ(first.strata[0].seen, 10u);
+  // New interval: counters restart; stratum yields nothing until data.
+  auto empty = sampler.take();
+  EXPECT_TRUE(empty.strata.empty());
+  sampler.offer(make_record(0, 2.0));
+  auto second = sampler.take();
+  ASSERT_EQ(second.strata.size(), 1u);
+  EXPECT_EQ(second.strata[0].seen, 1u);
+  EXPECT_DOUBLE_EQ(second.strata[0].weight, 1.0);
+}
+
+TEST(Oasrs, SnapshotDoesNotConsume) {
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(4, 5));
+  for (int i = 0; i < 10; ++i) sampler.offer(make_record(0, 1.0));
+  auto snap = sampler.snapshot();
+  EXPECT_EQ(snap.strata.size(), 1u);
+  auto taken = sampler.take();
+  EXPECT_EQ(taken.strata.size(), 1u);
+  EXPECT_EQ(taken.strata[0].seen, 10u);
+}
+
+TEST(Oasrs, TotalBudgetSplitsEqually) {
+  OasrsConfig config;
+  config.total_budget = 30;
+  config.seed = 6;
+  auto sampler = make_oasrs<Record>(config);
+  // First stratum discovered gets the full budget as its capacity (only one
+  // stratum known); later strata get smaller equal shares for NEW intervals.
+  for (int i = 0; i < 1000; ++i) {
+    sampler.offer(make_record(0, 1.0));
+    sampler.offer(make_record(1, 1.0));
+    sampler.offer(make_record(2, 1.0));
+  }
+  auto sample = sampler.take();
+  ASSERT_EQ(sample.strata.size(), 3u);
+  // Next interval: all three reservoirs re-created at budget/3 = 10.
+  for (int i = 0; i < 1000; ++i) {
+    sampler.offer(make_record(0, 1.0));
+    sampler.offer(make_record(1, 1.0));
+    sampler.offer(make_record(2, 1.0));
+  }
+  sample = sampler.take();
+  for (const auto& stratum : sample.strata) {
+    EXPECT_EQ(stratum.items.size(), 10u) << "stratum " << stratum.stratum;
+    EXPECT_DOUBLE_EQ(stratum.weight, 100.0);
+  }
+}
+
+TEST(Oasrs, SetTotalBudgetTakesEffectNextInterval) {
+  OasrsConfig config;
+  config.total_budget = 10;
+  config.seed = 7;
+  auto sampler = make_oasrs<Record>(config);
+  for (int i = 0; i < 100; ++i) sampler.offer(make_record(0, 1.0));
+  sampler.take();
+  sampler.set_total_budget(40);
+  for (int i = 0; i < 100; ++i) sampler.offer(make_record(0, 1.0));
+  auto sample = sampler.take();
+  ASSERT_EQ(sample.strata.size(), 1u);
+  EXPECT_EQ(sample.strata[0].items.size(), 40u);
+}
+
+TEST(Oasrs, InterleavedStrataSampleIndependently) {
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(50, 8));
+  streamapprox::Rng rng(8);
+  std::unordered_map<StratumId, int> sent;
+  for (int i = 0; i < 30000; ++i) {
+    const auto stratum = static_cast<StratumId>(rng.uniform_int(5));
+    sampler.offer(make_record(stratum, static_cast<double>(stratum)));
+    ++sent[stratum];
+  }
+  auto sample = sampler.take();
+  ASSERT_EQ(sample.strata.size(), 5u);
+  for (const auto& stratum : sample.strata) {
+    EXPECT_EQ(stratum.items.size(), 50u);
+    EXPECT_EQ(stratum.seen,
+              static_cast<std::uint64_t>(sent[stratum.stratum]));
+    // Every sampled item belongs to the right stratum.
+    for (const auto& record : stratum.items) {
+      EXPECT_EQ(record.stratum, stratum.stratum);
+    }
+  }
+}
+
+TEST(Oasrs, IntervalSeenCountsEverything) {
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(2, 9));
+  for (int i = 0; i < 123; ++i) {
+    sampler.offer(make_record(static_cast<StratumId>(i % 3), 1.0));
+  }
+  EXPECT_EQ(sampler.interval_seen(), 123u);
+}
+
+TEST(Oasrs, MergeCombinesWorkers) {
+  auto a = make_oasrs<Record>(fixed_capacity_config(10, 10));
+  auto b = make_oasrs<Record>(fixed_capacity_config(10, 11));
+  for (int i = 0; i < 100; ++i) a.offer(make_record(0, 1.0));
+  for (int i = 0; i < 60; ++i) b.offer(make_record(0, 2.0));
+  for (int i = 0; i < 7; ++i) b.offer(make_record(1, 3.0));
+  a.merge(b);
+  auto sample = a.take();
+  ASSERT_EQ(sample.strata.size(), 2u);
+  EXPECT_EQ(sample.strata[0].seen, 160u);
+  EXPECT_EQ(sample.strata[0].items.size(), 10u);
+  EXPECT_EQ(sample.strata[1].seen, 7u);
+  EXPECT_EQ(sample.strata[1].items.size(), 7u);
+}
+
+TEST(Oasrs, WorksOnUnboundedStreamsWithoutTake) {
+  // §3.2: "OASRS not only works for a concerned time interval, but also
+  // works with unbounded data streams": without interval resets the
+  // reservoirs and counters stay coherent indefinitely and snapshot() gives
+  // a valid weighted sample at any moment.
+  // 512 samples/stratum over U(0,100): relative SE of the weighted sum is
+  // ~0.64%, so the 5% band is ~8 sigma.
+  auto sampler = make_oasrs<Record>(fixed_capacity_config(512, 20));
+  streamapprox::Rng rng(20);
+  double exact_sum = 0.0;
+  for (int i = 0; i < 500000; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    exact_sum += v;
+    sampler.offer(make_record(static_cast<StratumId>(i % 4), v));
+  }
+  const auto snapshot = sampler.snapshot();
+  ASSERT_EQ(snapshot.strata.size(), 4u);
+  double approx_sum = 0.0;
+  for (const auto& stratum : snapshot.strata) {
+    EXPECT_EQ(stratum.items.size(), 512u);
+    EXPECT_EQ(stratum.seen, 125000u);
+    double sum = 0.0;
+    for (const auto& record : stratum.items) sum += record.value;
+    approx_sum += sum * stratum.weight;
+  }
+  EXPECT_NEAR(approx_sum, exact_sum, exact_sum * 0.05);
+}
+
+TEST(Oasrs, SampledFractionApproximatesBudget) {
+  // With budget = f * interval items and equal-rate strata, the sampled
+  // fraction should come out near f.
+  OasrsConfig config;
+  config.total_budget = 3000;  // f = 0.3 of 10000 items
+  config.seed = 12;
+  auto sampler = make_oasrs<Record>(config);
+  // Warm-up interval so all strata are known before capacities matter.
+  for (int i = 0; i < 10000; ++i) {
+    sampler.offer(make_record(static_cast<StratumId>(i % 3), 1.0));
+  }
+  sampler.take();
+  for (int i = 0; i < 10000; ++i) {
+    sampler.offer(make_record(static_cast<StratumId>(i % 3), 1.0));
+  }
+  auto sample = sampler.take();
+  EXPECT_NEAR(static_cast<double>(sample.total_sampled()), 3000.0, 3.0);
+}
+
+}  // namespace
+}  // namespace streamapprox::sampling

@@ -1,0 +1,188 @@
+// Tests for query evaluation, exact ground truth, and the accuracy-loss
+// metric.
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace streamapprox::core {
+namespace {
+
+using engine::Record;
+using engine::WindowResult;
+using estimation::StratumSummary;
+
+StratumSummary cell(sampling::StratumId stratum, std::uint64_t seen,
+                    std::uint64_t sampled, double sum, double weight) {
+  StratumSummary s;
+  s.stratum = stratum;
+  s.seen = seen;
+  s.sampled = sampled;
+  s.sum = sum;
+  s.weight = weight;
+  return s;
+}
+
+WindowResult window_of(std::int64_t end, std::vector<StratumSummary> cells) {
+  WindowResult w;
+  w.window_start_us = end - 10;
+  w.window_end_us = end;
+  w.cells = std::move(cells);
+  return w;
+}
+
+TEST(EvaluateWindows, OverallSum) {
+  const auto windows = std::vector<WindowResult>{
+      window_of(10, {cell(0, 10, 5, 50.0, 2.0), cell(1, 4, 4, 8.0, 1.0)}),
+  };
+  QuerySpec query{Aggregation::kSum, false};
+  const auto estimates = evaluate_windows(windows, query);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_DOUBLE_EQ(estimates[0].overall.estimate, 108.0);
+  EXPECT_TRUE(estimates[0].groups.empty());
+}
+
+TEST(EvaluateWindows, PerStratumGroupsSortedById) {
+  const auto windows = std::vector<WindowResult>{
+      window_of(10, {cell(2, 4, 4, 8.0, 1.0), cell(0, 10, 5, 50.0, 2.0),
+                     cell(0, 6, 3, 30.0, 2.0)}),
+  };
+  QuerySpec query{Aggregation::kSum, true};
+  const auto estimates = evaluate_windows(windows, query);
+  ASSERT_EQ(estimates[0].groups.size(), 2u);
+  EXPECT_EQ(estimates[0].groups[0].first, 0u);
+  // Two cells of stratum 0 combine: 50*2 + 30*2 = 160.
+  EXPECT_DOUBLE_EQ(estimates[0].groups[0].second.estimate, 160.0);
+  EXPECT_EQ(estimates[0].groups[1].first, 2u);
+  EXPECT_DOUBLE_EQ(estimates[0].groups[1].second.estimate, 8.0);
+}
+
+TEST(EvaluateWindows, MeanUsesPopulationWeights) {
+  const auto windows = std::vector<WindowResult>{
+      window_of(10, {cell(0, 80, 2, 20.0, 40.0),    // mean 10, omega 0.8
+                     cell(1, 20, 2, 200.0, 10.0)}), // mean 100, omega 0.2
+  };
+  QuerySpec query{Aggregation::kMean, false};
+  const auto estimates = evaluate_windows(windows, query);
+  EXPECT_NEAR(estimates[0].overall.estimate, 28.0, 1e-9);
+}
+
+TEST(ExactWindows, MatchDirectAggregation) {
+  std::vector<Record> records;
+  // 2 strata, 1s of data at 1ms spacing, values = stratum+1.
+  for (int i = 0; i < 1000; ++i) {
+    records.push_back({static_cast<sampling::StratumId>(i % 2),
+                       static_cast<double>(i % 2 + 1),
+                       static_cast<std::int64_t>(i) * 1000});
+  }
+  engine::WindowConfig window{200'000, 100'000};
+  const auto windows = exact_window_results(records, window);
+  ASSERT_GE(windows.size(), 9u);
+  for (const auto& w : windows) {
+    std::uint64_t seen = 0;
+    double sum = 0.0;
+    for (const auto& c : w.cells) {
+      EXPECT_EQ(c.seen, c.sampled);  // exact
+      EXPECT_DOUBLE_EQ(c.weight, 1.0);
+      seen += c.seen;
+      sum += c.sum;
+    }
+    EXPECT_EQ(seen, 200u);
+    EXPECT_DOUBLE_EQ(sum, 300.0);  // 100*1 + 100*2
+  }
+}
+
+TEST(AccuracyLoss, ZeroForIdenticalEstimates) {
+  const auto windows = std::vector<WindowResult>{
+      window_of(10, {cell(0, 4, 4, 8.0, 1.0)}),
+  };
+  QuerySpec query{Aggregation::kSum, false};
+  const auto estimates = evaluate_windows(windows, query);
+  EXPECT_DOUBLE_EQ(mean_accuracy_loss(estimates, estimates, query), 0.0);
+}
+
+TEST(AccuracyLoss, MatchesHandComputedRelativeError) {
+  QuerySpec query{Aggregation::kSum, false};
+  const auto approx = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 110.0, 1.0)})}, query);
+  const auto exact = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 100.0, 1.0)})}, query);
+  EXPECT_NEAR(mean_accuracy_loss(approx, exact, query), 0.1, 1e-12);
+}
+
+TEST(AccuracyLoss, AveragesAcrossWindows) {
+  QuerySpec query{Aggregation::kSum, false};
+  const auto approx = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 110.0, 1.0)}),
+       window_of(20, {cell(0, 4, 4, 100.0, 1.0)})},
+      query);
+  const auto exact = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 100.0, 1.0)}),
+       window_of(20, {cell(0, 4, 4, 100.0, 1.0)})},
+      query);
+  EXPECT_NEAR(mean_accuracy_loss(approx, exact, query), 0.05, 1e-12);
+}
+
+TEST(AccuracyLoss, MissedGroupCountsAsTotalLoss) {
+  QuerySpec query{Aggregation::kSum, true};
+  // Approx missed stratum 1 entirely (the SRS failure mode).
+  const auto approx = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 100.0, 1.0)})}, query);
+  const auto exact = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 100.0, 1.0), cell(1, 2, 2, 50.0, 1.0)})},
+      query);
+  EXPECT_NEAR(mean_accuracy_loss(approx, exact, query), 0.5, 1e-12);
+}
+
+TEST(AccuracyLoss, UnmatchedWindowsSkipped) {
+  QuerySpec query{Aggregation::kSum, false};
+  const auto approx = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 120.0, 1.0)}),
+       window_of(99, {cell(0, 4, 4, 5.0, 1.0)})},  // no exact counterpart
+      query);
+  const auto exact = evaluate_windows(
+      {window_of(10, {cell(0, 4, 4, 100.0, 1.0)})}, query);
+  EXPECT_NEAR(mean_accuracy_loss(approx, exact, query), 0.2, 1e-12);
+}
+
+TEST(AccuracyLoss, EmptyInputsGiveZero) {
+  QuerySpec query{Aggregation::kSum, false};
+  EXPECT_EQ(mean_accuracy_loss({}, {}, query), 0.0);
+}
+
+TEST(AggregationName, Names) {
+  EXPECT_EQ(aggregation_name(Aggregation::kSum), "SUM");
+  EXPECT_EQ(aggregation_name(Aggregation::kMean), "MEAN");
+  EXPECT_EQ(aggregation_name(Aggregation::kCount), "COUNT");
+}
+
+TEST(EvaluateWindows, CountQuery) {
+  const auto windows = std::vector<WindowResult>{
+      window_of(10, {cell(0, 100, 10, 50.0, 10.0),   // count estimate 100
+                     cell(1, 7, 7, 8.0, 1.0)}),      // exactly 7
+  };
+  QuerySpec query{Aggregation::kCount, true};
+  const auto estimates = evaluate_windows(windows, query);
+  EXPECT_DOUBLE_EQ(estimates[0].overall.estimate, 107.0);
+  ASSERT_EQ(estimates[0].groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(estimates[0].groups[0].second.estimate, 100.0);
+  EXPECT_DOUBLE_EQ(estimates[0].groups[1].second.estimate, 7.0);
+}
+
+TEST(EvaluateWindows, CountQueryEndToEnd) {
+  // COUNT estimated from OASRS weights equals the exact window population.
+  std::vector<Record> records;
+  for (int i = 0; i < 2000; ++i) {
+    records.push_back({static_cast<sampling::StratumId>(i % 3), 1.0,
+                       static_cast<std::int64_t>(i) * 500});
+  }
+  const engine::WindowConfig window{200'000, 100'000};
+  const auto exact = exact_window_results(records, window);
+  QuerySpec query{Aggregation::kCount, false};
+  for (const auto& estimate : evaluate_windows(exact, query)) {
+    EXPECT_DOUBLE_EQ(estimate.overall.estimate,
+                     static_cast<double>(estimate.overall.population));
+  }
+}
+
+}  // namespace
+}  // namespace streamapprox::core

@@ -1,0 +1,215 @@
+// Parameterised property tests over the samplers: unbiasedness and fairness
+// invariants must hold across sampling fractions, skews and seeds
+// (TEST_P sweeps, as the paper's claims are about whole parameter ranges).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/stats.h"
+#include "engine/record.h"
+#include "sampling/oasrs.h"
+#include "sampling/scasrs.h"
+#include "sampling/sts.h"
+
+namespace streamapprox::sampling {
+namespace {
+
+using streamapprox::engine::Record;
+using streamapprox::engine::RecordStratum;
+
+// Three strata with very different means; stratum 2 is rare but dominant in
+// value — the paper's recurring stress shape.
+std::vector<Record> skewed_stream(std::size_t n, std::uint64_t seed) {
+  streamapprox::Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    StratumId stratum = u < 0.80 ? 0 : (u < 0.99 ? 1 : 2);
+    const double mean = stratum == 0 ? 100.0 : stratum == 1 ? 1000.0
+                                                            : 10000.0;
+    records.push_back(
+        Record{stratum, rng.gaussian(mean, mean / 10.0), 0});
+  }
+  return records;
+}
+
+double exact_sum(const std::vector<Record>& records) {
+  double sum = 0.0;
+  for (const auto& record : records) sum += record.value;
+  return sum;
+}
+
+// ---------------------------------------------------------------- OASRS
+
+class OasrsFractionProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(OasrsFractionProperty, WeightedSumWithinThreeSigma) {
+  const auto [fraction, seed] = GetParam();
+  const auto records = skewed_stream(40000, seed);
+  OasrsConfig config;
+  config.total_budget =
+      static_cast<std::size_t>(fraction * static_cast<double>(records.size()));
+  config.seed = seed * 31 + 7;
+  auto sampler = make_oasrs<Record>(config);
+  for (const auto& record : records) sampler.offer(record);
+  const auto sample = sampler.take();
+
+  double approx = 0.0;
+  for (const auto& stratum : sample.strata) {
+    double sum = 0.0;
+    for (const auto& record : stratum.items) sum += record.value;
+    approx += sum * stratum.weight;
+  }
+  const double exact = exact_sum(records);
+  // A generous bound: the estimate must land within 10% — far looser than
+  // 3 sigma for these sizes, but robust for every (fraction, seed) cell.
+  EXPECT_NEAR(approx, exact, exact * 0.10)
+      << "fraction=" << fraction << " seed=" << seed;
+}
+
+TEST_P(OasrsFractionProperty, EveryStratumRepresented) {
+  const auto [fraction, seed] = GetParam();
+  const auto records = skewed_stream(40000, seed);
+  OasrsConfig config;
+  config.total_budget =
+      static_cast<std::size_t>(fraction * static_cast<double>(records.size()));
+  config.seed = seed * 131 + 3;
+  auto sampler = make_oasrs<Record>(config);
+  for (const auto& record : records) sampler.offer(record);
+  const auto sample = sampler.take();
+  ASSERT_EQ(sample.strata.size(), 3u);
+  for (const auto& stratum : sample.strata) {
+    EXPECT_GT(stratum.items.size(), 0u)
+        << "stratum " << stratum.stratum << " overlooked at fraction "
+        << fraction;
+  }
+}
+
+TEST_P(OasrsFractionProperty, SampleSizeRespectsBudget) {
+  const auto [fraction, seed] = GetParam();
+  const auto records = skewed_stream(40000, seed);
+  OasrsConfig config;
+  config.total_budget =
+      static_cast<std::size_t>(fraction * static_cast<double>(records.size()));
+  config.seed = seed;
+  auto sampler = make_oasrs<Record>(config);
+  for (const auto& record : records) sampler.offer(record);
+  const auto sample = sampler.take();
+  EXPECT_LE(sample.total_sampled(), config.total_budget + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FractionsAndSeeds, OasrsFractionProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.2, 0.4, 0.6, 0.8),
+                       ::testing::Values(11u, 29u, 47u)));
+
+// ----------------------------------------------------------------- ScaSRS
+
+class ScaSrsFractionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaSrsFractionProperty, ExactSizeAndUnbiasedSum) {
+  const double fraction = GetParam();
+  const auto records = skewed_stream(30000, 97);
+  streamapprox::Rng rng(1234);
+  const auto result = scasrs_sample(records, fraction, rng);
+  const auto expected = static_cast<std::size_t>(
+      fraction * static_cast<double>(records.size()));
+  EXPECT_EQ(result.items.size(), std::max<std::size_t>(1, expected));
+
+  double approx = 0.0;
+  for (const auto& record : result.items) approx += record.value;
+  approx *= result.weight;
+  const double exact = exact_sum(records);
+  // SRS on this skew has high variance at small fractions; allow 25%.
+  EXPECT_NEAR(approx, exact, exact * 0.25) << "fraction " << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ScaSrsFractionProperty,
+                         ::testing::Values(0.1, 0.2, 0.4, 0.6, 0.8, 0.9));
+
+// -------------------------------------------------------------------- STS
+
+class StsFractionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(StsFractionProperty, PerStratumSumsUnbiased) {
+  const double fraction = GetParam();
+  const auto records = skewed_stream(30000, 53);
+  std::unordered_map<StratumId, double> exact;
+  for (const auto& record : records) exact[record.stratum] += record.value;
+
+  streamapprox::Rng rng(4321);
+  const auto sample =
+      sts_sample_local(records, RecordStratum{}, fraction, rng, true);
+  for (const auto& stratum : sample.strata) {
+    double approx = 0.0;
+    for (const auto& record : stratum.items) approx += record.value;
+    approx *= stratum.weight;
+    const double truth = exact[stratum.stratum];
+    EXPECT_NEAR(approx, truth, truth * 0.15)
+        << "stratum " << stratum.stratum << " fraction " << fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, StsFractionProperty,
+                         ::testing::Values(0.1, 0.3, 0.6, 0.9));
+
+// ----------------------------------------------- Fairness comparison (§5.7)
+
+TEST(FairnessProperty, OasrsBeatsSrsOnRareDominantStratum) {
+  // The paper's central qualitative claim: on long-tail data the rare but
+  // significant sub-stream is preserved by OASRS and lost by SRS, so the
+  // OASRS mean estimate is systematically closer. Averaged over seeds to be
+  // statistically robust.
+  double oasrs_err_total = 0.0;
+  double srs_err_total = 0.0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    streamapprox::Rng rng(7000 + t);
+    std::vector<Record> records;
+    for (int i = 0; i < 50000; ++i) {
+      const double u = rng.uniform();
+      // 0.05% stratum with values 1e8 — dominates the true mean.
+      StratumId stratum = u < 0.9995 ? 0 : 1;
+      const double value = stratum == 0 ? rng.gaussian(10.0, 3.0)
+                                        : rng.gaussian(1e8, 1e6);
+      records.push_back(Record{stratum, value, 0});
+    }
+    double exact = 0.0;
+    for (const auto& record : records) exact += record.value;
+    exact /= static_cast<double>(records.size());
+
+    // OASRS at 10% budget.
+    OasrsConfig config;
+    config.total_budget = records.size() / 10;
+    config.seed = 900 + t;
+    auto sampler = make_oasrs<Record>(config);
+    for (const auto& record : records) sampler.offer(record);
+    const auto sample = sampler.take();
+    double oasrs_sum = 0.0;
+    double oasrs_count = 0.0;
+    for (const auto& stratum : sample.strata) {
+      double sum = 0.0;
+      for (const auto& record : stratum.items) sum += record.value;
+      oasrs_sum += sum * stratum.weight;
+      oasrs_count += static_cast<double>(stratum.seen);
+    }
+    const double oasrs_mean = oasrs_sum / oasrs_count;
+
+    // SRS at the same 10%.
+    const auto srs = scasrs_sample(records, 0.1, rng);
+    double srs_mean = 0.0;
+    for (const auto& record : srs.items) srs_mean += record.value;
+    srs_mean /= static_cast<double>(srs.items.size());
+
+    oasrs_err_total += streamapprox::relative_error(oasrs_mean, exact);
+    srs_err_total += streamapprox::relative_error(srs_mean, exact);
+  }
+  EXPECT_LT(oasrs_err_total / kTrials, srs_err_total / kTrials);
+  EXPECT_LT(oasrs_err_total / kTrials, 0.02);
+}
+
+}  // namespace
+}  // namespace streamapprox::sampling

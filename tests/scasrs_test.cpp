@@ -1,0 +1,146 @@
+// Tests for ScaSRS (Spark's `sample`): threshold maths, exact sample size,
+// uniformity, weights; plus the Bernoulli fallback.
+#include "sampling/scasrs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace streamapprox::sampling {
+namespace {
+
+std::vector<int> iota_batch(int n) {
+  std::vector<int> batch(n);
+  for (int i = 0; i < n; ++i) batch[i] = i;
+  return batch;
+}
+
+TEST(ScaSrsThresholds, OrderedAndBracketFraction) {
+  const auto t = scasrs_thresholds(0.3, 100000);
+  EXPECT_GT(t.p, 0.0);
+  EXPECT_LT(t.p, 0.3);
+  EXPECT_GT(t.q, 0.3);
+  EXPECT_LT(t.q, 1.0);
+}
+
+TEST(ScaSrsThresholds, DegenerateInputs) {
+  const auto zero = scasrs_thresholds(0.0, 1000);
+  EXPECT_EQ(zero.p, 0.0);
+  EXPECT_EQ(zero.q, 0.0);
+  const auto full = scasrs_thresholds(1.0, 1000);
+  EXPECT_EQ(full.p, 1.0);
+  EXPECT_EQ(full.q, 1.0);
+  const auto empty = scasrs_thresholds(0.5, 0);
+  EXPECT_EQ(empty.p, 0.0);
+  EXPECT_EQ(empty.q, 0.0);
+}
+
+TEST(ScaSrsThresholds, TightenWithLargerN) {
+  const auto small = scasrs_thresholds(0.3, 1000);
+  const auto large = scasrs_thresholds(0.3, 1000000);
+  EXPECT_LT(large.q - large.p, small.q - small.p);
+}
+
+TEST(ScaSrs, ExactSampleSize) {
+  streamapprox::Rng rng(1);
+  const auto batch = iota_batch(50000);
+  for (double fraction : {0.1, 0.3, 0.6, 0.9}) {
+    const auto result = scasrs_sample(batch, fraction, rng);
+    const auto expected =
+        static_cast<std::size_t>(fraction * batch.size());
+    EXPECT_EQ(result.items.size(), expected) << "fraction " << fraction;
+    EXPECT_EQ(result.population, batch.size());
+    EXPECT_NEAR(result.weight, 1.0 / fraction, 0.01);
+  }
+}
+
+TEST(ScaSrs, EmptyBatch) {
+  streamapprox::Rng rng(2);
+  const std::vector<int> batch;
+  const auto result = scasrs_sample(batch, 0.5, rng);
+  EXPECT_TRUE(result.items.empty());
+  EXPECT_EQ(result.population, 0u);
+}
+
+TEST(ScaSrs, FractionOneKeepsEverything) {
+  streamapprox::Rng rng(3);
+  const auto batch = iota_batch(100);
+  const auto result = scasrs_sample(batch, 1.0, rng);
+  EXPECT_EQ(result.items.size(), 100u);
+  EXPECT_DOUBLE_EQ(result.weight, 1.0);
+}
+
+TEST(ScaSrs, FractionZeroKeepsNothing) {
+  streamapprox::Rng rng(4);
+  const auto batch = iota_batch(100);
+  const auto result = scasrs_sample(batch, 0.0, rng);
+  EXPECT_TRUE(result.items.empty());
+}
+
+TEST(ScaSrs, TinyBatchStillSamples) {
+  streamapprox::Rng rng(5);
+  const auto batch = iota_batch(3);
+  const auto result = scasrs_sample(batch, 0.5, rng);
+  EXPECT_GE(result.items.size(), 1u);
+  EXPECT_LE(result.items.size(), 3u);
+}
+
+TEST(ScaSrs, SelectionIsUniform) {
+  // Across trials every element should be selected ~fraction of the time.
+  constexpr int kN = 200;
+  constexpr int kTrials = 5000;
+  constexpr double kFraction = 0.25;
+  std::vector<double> hits(kN, 0.0);
+  streamapprox::Rng rng(6);
+  const auto batch = iota_batch(kN);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result = scasrs_sample(batch, kFraction, rng);
+    for (int item : result.items) hits[item] += 1.0;
+  }
+  const std::vector<double> expected(kN, kTrials * kFraction);
+  // 199 dof, alpha=0.001 critical ~ 272.
+  EXPECT_LT(streamapprox::chi_square(hits, expected), 272.0);
+}
+
+TEST(ScaSrs, WeightedSumIsUnbiased) {
+  streamapprox::Rng rng(7);
+  std::vector<double> batch;
+  double exact_sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    batch.push_back(v);
+    exact_sum += v;
+  }
+  streamapprox::RunningStats errors;
+  for (int t = 0; t < 20; ++t) {
+    const auto result = scasrs_sample(batch, 0.2, rng);
+    double approx = 0.0;
+    for (double v : result.items) approx += v;
+    approx *= result.weight;
+    errors.add((approx - exact_sum) / exact_sum);
+  }
+  EXPECT_LT(std::abs(errors.mean()), 0.01);  // centred on zero
+}
+
+TEST(Bernoulli, ExpectedSizeAndWeight) {
+  streamapprox::Rng rng(8);
+  const auto batch = iota_batch(100000);
+  const auto result = bernoulli_sample(batch, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(result.items.size()), 30000.0, 600.0);
+  EXPECT_NEAR(result.weight,
+              static_cast<double>(batch.size()) /
+                  static_cast<double>(result.items.size()),
+              1e-9);
+}
+
+TEST(Bernoulli, EdgeFractions) {
+  streamapprox::Rng rng(9);
+  const auto batch = iota_batch(100);
+  EXPECT_TRUE(bernoulli_sample(batch, 0.0, rng).items.empty());
+  EXPECT_EQ(bernoulli_sample(batch, 1.0, rng).items.size(), 100u);
+}
+
+}  // namespace
+}  // namespace streamapprox::sampling

@@ -1,0 +1,114 @@
+// Tests for the shuffle (groupBy) — the wide operation behind Spark STS.
+#include "engine/batched/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/record.h"
+
+namespace streamapprox::engine::batched {
+namespace {
+
+Scheduler make_scheduler() {
+  SchedulerConfig config;
+  config.workers = 4;
+  config.stage_overhead = std::chrono::microseconds(0);
+  return Scheduler(config);
+}
+
+std::vector<Record> mixed_records(std::size_t n, std::uint32_t strata,
+                                  std::uint64_t seed) {
+  streamapprox::Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(Record{
+        static_cast<sampling::StratumId>(rng.uniform_int(strata)),
+        static_cast<double>(i), 0});
+  }
+  return records;
+}
+
+TEST(Shuffle, GroupsEveryRecordExactlyOnce) {
+  auto scheduler = make_scheduler();
+  const auto records = mixed_records(10000, 7, 1);
+  auto dataset = Dataset<Record>::from(records, 8, scheduler);
+  const auto grouped =
+      shuffle_group_by(dataset, RecordStratum{}, scheduler, 4);
+  ASSERT_EQ(grouped.size(), 4u);
+
+  std::size_t total = 0;
+  for (const auto& reducer : grouped) {
+    for (const auto& [stratum, items] : reducer) {
+      total += items.size();
+      for (const auto& record : items) {
+        EXPECT_EQ(record.stratum, stratum);
+      }
+    }
+  }
+  EXPECT_EQ(total, records.size());
+}
+
+TEST(Shuffle, SameKeySameReducer) {
+  auto scheduler = make_scheduler();
+  const auto records = mixed_records(5000, 10, 2);
+  auto dataset = Dataset<Record>::from(records, 8, scheduler);
+  const auto grouped =
+      shuffle_group_by(dataset, RecordStratum{}, scheduler, 3);
+  // Each stratum must appear in exactly one reducer.
+  std::unordered_map<sampling::StratumId, int> appearances;
+  for (const auto& reducer : grouped) {
+    for (const auto& [stratum, items] : reducer) {
+      ++appearances[stratum];
+    }
+  }
+  for (const auto& [stratum, count] : appearances) {
+    EXPECT_EQ(count, 1) << "stratum " << stratum << " split across reducers";
+  }
+}
+
+TEST(Shuffle, GroupSizesMatchInput) {
+  auto scheduler = make_scheduler();
+  std::vector<Record> records;
+  for (int i = 0; i < 300; ++i) records.push_back({0, 1.0, 0});
+  for (int i = 0; i < 200; ++i) records.push_back({1, 1.0, 0});
+  for (int i = 0; i < 100; ++i) records.push_back({2, 1.0, 0});
+  auto dataset = Dataset<Record>::from(records, 4, scheduler);
+  const auto grouped = shuffle_group_by(dataset, RecordStratum{}, scheduler);
+  std::unordered_map<sampling::StratumId, std::size_t> sizes;
+  for (const auto& reducer : grouped) {
+    for (const auto& [stratum, items] : reducer) {
+      sizes[stratum] += items.size();
+    }
+  }
+  EXPECT_EQ(sizes[0], 300u);
+  EXPECT_EQ(sizes[1], 200u);
+  EXPECT_EQ(sizes[2], 100u);
+}
+
+TEST(Shuffle, DefaultsReducersToMaps) {
+  auto scheduler = make_scheduler();
+  auto dataset =
+      Dataset<Record>::from(mixed_records(100, 3, 3), 5, scheduler);
+  const auto grouped = shuffle_group_by(dataset, RecordStratum{}, scheduler);
+  EXPECT_EQ(grouped.size(), 5u);
+}
+
+TEST(Shuffle, EmptyInput) {
+  auto scheduler = make_scheduler();
+  auto dataset = Dataset<Record>::from(std::vector<Record>{}, 4, scheduler);
+  const auto grouped = shuffle_group_by(dataset, RecordStratum{}, scheduler);
+  for (const auto& reducer : grouped) EXPECT_TRUE(reducer.empty());
+}
+
+TEST(Shuffle, RunsTwoStages) {
+  auto scheduler = make_scheduler();
+  auto dataset =
+      Dataset<Record>::from(mixed_records(100, 3, 4), 4, scheduler);
+  const auto before = scheduler.stages_run();
+  shuffle_group_by(dataset, RecordStratum{}, scheduler);
+  EXPECT_EQ(scheduler.stages_run(), before + 2);  // map side + reduce side
+}
+
+}  // namespace
+}  // namespace streamapprox::engine::batched

@@ -1,0 +1,142 @@
+// Unit tests for RunningStats (Welford) and the helper statistics used by
+// the estimators and the accuracy metric.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace streamapprox {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 42.0);
+  EXPECT_EQ(stats.variance(), 0.0);  // undefined -> 0 by contract
+  EXPECT_EQ(stats.min(), 42.0);
+  EXPECT_EQ(stats.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesTwoPassComputation) {
+  Rng rng(3);
+  std::vector<double> xs;
+  RunningStats stats;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.gaussian(100.0, 15.0);
+    xs.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), mean_of(xs), 1e-9);
+  EXPECT_NEAR(stats.variance(), variance_of(xs), 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(4);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats stats;
+  stats.add(5.0);
+  stats.reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableOnLargeOffsets) {
+  RunningStats stats;
+  // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+  // Exact sample variance of 1000 alternating +/-1 values: 1000/999.
+  for (int i = 0; i < 1000; ++i) stats.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(stats.variance(), 1000.0 / 999.0, 1e-6);
+}
+
+TEST(VectorStats, MeanAndVariance) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(variance_of({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(variance_of({1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(Quantile, Basics) {
+  EXPECT_EQ(quantile_of({}, 0.5), 0.0);
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_NEAR(quantile_of(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile_of(xs, 1.0), 100.0, 1e-12);
+  EXPECT_NEAR(quantile_of(xs, 0.5), 50.0, 1.0);
+  EXPECT_NEAR(quantile_of(xs, 0.9), 90.0, 1.5);
+}
+
+TEST(ChiSquare, ZeroForPerfectFit) {
+  EXPECT_EQ(chi_square({10, 20, 30}, {10, 20, 30}), 0.0);
+}
+
+TEST(ChiSquare, KnownValue) {
+  // ((12-10)^2)/10 + ((8-10)^2)/10 = 0.8
+  EXPECT_NEAR(chi_square({12, 8}, {10, 10}), 0.8, 1e-12);
+}
+
+TEST(ChiSquare, IgnoresZeroExpected) {
+  EXPECT_EQ(chi_square({5}, {0}), 0.0);
+}
+
+TEST(RelativeError, PaperDefinition) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(-90.0, -100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(5.0, 0.0), 5.0);  // exact == 0 contract
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace streamapprox

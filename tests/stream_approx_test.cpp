@@ -1,0 +1,134 @@
+// Tests for the StreamApprox facade: live broker consumption, window
+// outputs with error bounds, budget kinds, adaptive feedback.
+#include "core/stream_approx.h"
+
+#include <gtest/gtest.h>
+
+#include "ingest/replay.h"
+#include "workload/synthetic.h"
+
+namespace streamapprox::core {
+namespace {
+
+std::vector<engine::Record> make_stream(double seconds, double rate,
+                                        std::uint64_t seed) {
+  workload::SyntheticStream stream(workload::gaussian_substreams(rate), seed);
+  return stream.generate(seconds);
+}
+
+StreamApproxConfig base_config() {
+  StreamApproxConfig config;
+  config.topic = "input";
+  config.window = {1'000'000, 500'000};
+  config.query = {Aggregation::kMean, false};
+  return config;
+}
+
+TEST(StreamApprox, RequiresExistingTopic) {
+  ingest::Broker broker;
+  EXPECT_THROW(StreamApprox(broker, base_config()), std::out_of_range);
+}
+
+TEST(StreamApprox, ProducesWindowsWithBounds) {
+  ingest::Broker broker;
+  broker.create_topic("input", 3);
+  const auto records = make_stream(4.0, 20000.0, 1);
+  ingest::ReplayTool replay(broker, "input", records, {});
+  StreamApprox system(broker, base_config());
+  std::vector<WindowOutput> outputs;
+  system.run([&](const WindowOutput& output) { outputs.push_back(output); });
+  replay.wait();
+
+  ASSERT_GE(outputs.size(), 5u);
+  for (const auto& output : outputs) {
+    EXPECT_GT(output.records_seen, 0u);
+    EXPECT_GT(output.records_sampled, 0u);
+    EXPECT_LE(output.records_sampled, output.records_seen);
+    EXPECT_GT(output.estimate.overall.estimate, 0.0);
+  }
+}
+
+TEST(StreamApprox, MeanWithinErrorBoundMostWindows) {
+  ingest::Broker broker;
+  broker.create_topic("input", 3);
+  const auto records = make_stream(5.0, 20000.0, 2);
+  // True mean of the Gaussian mix = (10+1000+10000)/3 ≈ 3670.
+  ingest::ReplayTool replay(broker, "input", records, {});
+  auto config = base_config();
+  config.budget = estimation::QueryBudget::fraction(0.5);
+  StreamApprox system(broker, config);
+  int within = 0;
+  int total = 0;
+  system.run([&](const WindowOutput& output) {
+    ++total;
+    const auto interval = output.estimate.overall.interval(3.0);
+    if (interval.contains(3670.0)) ++within;
+  });
+  replay.wait();
+  ASSERT_GT(total, 0);
+  // 3-sigma coverage should be nearly always; allow some slack for the
+  // noisy small first/last windows.
+  EXPECT_GE(static_cast<double>(within) / total, 0.7);
+}
+
+TEST(StreamApprox, FractionBudgetControlsSampleSize) {
+  ingest::Broker broker;
+  broker.create_topic("input", 3);
+  const auto records = make_stream(4.0, 20000.0, 3);
+  ingest::ReplayTool replay(broker, "input", records, {});
+  auto config = base_config();
+  config.budget = estimation::QueryBudget::fraction(0.1);
+  StreamApprox system(broker, config);
+  std::uint64_t seen = 0;
+  std::uint64_t sampled = 0;
+  system.run([&](const WindowOutput& output) {
+    seen += output.records_seen;
+    sampled += output.records_sampled;
+  });
+  replay.wait();
+  ASSERT_GT(seen, 0u);
+  // After the first adaptation, the sampled share should be near 10%.
+  const double fraction = static_cast<double>(sampled) / seen;
+  EXPECT_LT(fraction, 0.25);
+}
+
+TEST(StreamApprox, AccuracyBudgetAdaptsBudgetUpward) {
+  ingest::Broker broker;
+  broker.create_topic("input", 3);
+  // High-variance stream + tight accuracy target => budget must grow from
+  // its initial 1024.
+  const auto records = make_stream(6.0, 30000.0, 4);
+  ingest::ReplayTool replay(broker, "input", records, {});
+  auto config = base_config();
+  config.budget = estimation::QueryBudget::relative_error(0.001);
+  StreamApprox system(broker, config);
+  std::vector<std::size_t> budgets;
+  system.run([&](const WindowOutput& output) {
+    budgets.push_back(output.budget_in_force);
+  });
+  replay.wait();
+  ASSERT_GE(budgets.size(), 3u);
+  EXPECT_GT(budgets.back(), budgets.front());
+}
+
+TEST(StreamApprox, PerStratumQuery) {
+  ingest::Broker broker;
+  broker.create_topic("input", 3);
+  const auto records = make_stream(3.0, 20000.0, 5);
+  ingest::ReplayTool replay(broker, "input", records, {});
+  auto config = base_config();
+  config.query = {Aggregation::kMean, true};
+  StreamApprox system(broker, config);
+  std::size_t windows_with_all_groups = 0;
+  std::size_t total = 0;
+  system.run([&](const WindowOutput& output) {
+    ++total;
+    if (output.estimate.groups.size() == 3) ++windows_with_all_groups;
+  });
+  replay.wait();
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(windows_with_all_groups, total);  // no sub-stream overlooked
+}
+
+}  // namespace
+}  // namespace streamapprox::core

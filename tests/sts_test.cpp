@@ -1,0 +1,136 @@
+// Tests for the Spark STS baseline: grouping, per-stratum proportional
+// sampling, exact vs non-exact variants, weights.
+#include "sampling/sts.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "engine/record.h"
+
+namespace streamapprox::sampling {
+namespace {
+
+using streamapprox::engine::Record;
+using streamapprox::engine::RecordStratum;
+
+std::vector<Record> mixed_batch(const std::vector<std::size_t>& counts,
+                                std::uint64_t seed) {
+  streamapprox::Rng rng(seed);
+  std::vector<Record> batch;
+  for (StratumId s = 0; s < counts.size(); ++s) {
+    for (std::size_t i = 0; i < counts[s]; ++i) {
+      batch.push_back(Record{s, rng.gaussian(100.0 * (s + 1), 5.0), 0});
+    }
+  }
+  // Shuffle so grouping actually has to work.
+  for (std::size_t i = batch.size(); i > 1; --i) {
+    std::swap(batch[i - 1], batch[rng.uniform_int(i)]);
+  }
+  return batch;
+}
+
+TEST(GroupByStratum, PartitionsExactly) {
+  const auto batch = mixed_batch({100, 200, 50}, 1);
+  const auto groups = group_by_stratum(batch, RecordStratum{});
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at(0).size(), 100u);
+  EXPECT_EQ(groups.at(1).size(), 200u);
+  EXPECT_EQ(groups.at(2).size(), 50u);
+  for (const auto& [stratum, items] : groups) {
+    for (const auto& record : items) EXPECT_EQ(record.stratum, stratum);
+  }
+}
+
+TEST(GroupByStratum, EmptyBatch) {
+  const std::vector<Record> batch;
+  EXPECT_TRUE(group_by_stratum(batch, RecordStratum{}).empty());
+}
+
+TEST(StsSample, ProportionalAllocation) {
+  // Unlike OASRS's equal budgets, STS samples each stratum at the same
+  // fraction — sample sizes track stratum sizes (§4.1).
+  const auto batch = mixed_batch({10000, 1000, 100}, 2);
+  streamapprox::Rng rng(2);
+  const auto sample =
+      sts_sample_local(batch, RecordStratum{}, 0.2, rng, /*exact=*/true);
+  ASSERT_EQ(sample.strata.size(), 3u);
+  for (const auto& stratum : sample.strata) {
+    const double expected = 0.2 * static_cast<double>(stratum.seen);
+    EXPECT_NEAR(static_cast<double>(stratum.items.size()), expected,
+                expected * 0.05 + 2.0)
+        << "stratum " << stratum.stratum;
+  }
+}
+
+TEST(StsSample, ExactVariantHitsExactSizes) {
+  const auto batch = mixed_batch({5000, 5000}, 3);
+  streamapprox::Rng rng(3);
+  const auto sample =
+      sts_sample_local(batch, RecordStratum{}, 0.3, rng, /*exact=*/true);
+  for (const auto& stratum : sample.strata) {
+    EXPECT_EQ(stratum.items.size(), 1500u);
+  }
+}
+
+TEST(StsSample, NonExactVariantApproximateSizes) {
+  const auto batch = mixed_batch({20000}, 4);
+  streamapprox::Rng rng(4);
+  const auto sample =
+      sts_sample_local(batch, RecordStratum{}, 0.3, rng, /*exact=*/false);
+  ASSERT_EQ(sample.strata.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(sample.strata[0].items.size()), 6000.0,
+              300.0);
+}
+
+TEST(StsSample, WeightsAreInverseFraction) {
+  const auto batch = mixed_batch({10000, 2000}, 5);
+  streamapprox::Rng rng(5);
+  const auto sample =
+      sts_sample_local(batch, RecordStratum{}, 0.25, rng, /*exact=*/true);
+  for (const auto& stratum : sample.strata) {
+    EXPECT_NEAR(stratum.weight, 4.0, 0.05);
+    EXPECT_EQ(stratum.seen, stratum.stratum == 0 ? 10000u : 2000u);
+  }
+}
+
+TEST(StsSample, NoStratumOverlooked) {
+  const auto batch = mixed_batch({100000, 10}, 6);
+  streamapprox::Rng rng(6);
+  const auto sample =
+      sts_sample_local(batch, RecordStratum{}, 0.5, rng, /*exact=*/true);
+  ASSERT_EQ(sample.strata.size(), 2u);
+  // Even the 10-item stratum contributes: STS samples it at the fraction.
+  bool found_small = false;
+  for (const auto& stratum : sample.strata) {
+    if (stratum.seen == 10) {
+      found_small = true;
+      EXPECT_GE(stratum.items.size(), 1u);
+    }
+  }
+  EXPECT_TRUE(found_small);
+}
+
+TEST(StsSample, WeightedSumUnbiasedPerStratum) {
+  const auto batch = mixed_batch({50000, 50000}, 7);
+  double exact0 = 0.0;
+  for (const auto& record : batch) {
+    if (record.stratum == 0) exact0 += record.value;
+  }
+  streamapprox::Rng rng(7);
+  streamapprox::RunningStats errors;
+  for (int t = 0; t < 15; ++t) {
+    const auto sample =
+        sts_sample_local(batch, RecordStratum{}, 0.2, rng, /*exact=*/true);
+    for (const auto& stratum : sample.strata) {
+      if (stratum.stratum != 0) continue;
+      double approx = 0.0;
+      for (const auto& record : stratum.items) approx += record.value;
+      approx *= stratum.weight;
+      errors.add((approx - exact0) / exact0);
+    }
+  }
+  EXPECT_LT(std::abs(errors.mean()), 0.005);
+}
+
+}  // namespace
+}  // namespace streamapprox::sampling

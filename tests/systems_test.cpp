@@ -1,0 +1,173 @@
+// Tests for the six evaluated system variants: each must process the whole
+// stream, produce windows, and deliver estimates consistent with the exact
+// ground truth (natives exactly; sampled systems within tolerance).
+#include "core/systems.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "workload/synthetic.h"
+
+namespace streamapprox::core {
+namespace {
+
+SystemConfig fast_config() {
+  SystemConfig config;
+  config.sampling_fraction = 0.4;
+  config.workers = 2;
+  config.batch_interval_us = 250'000;
+  config.window = {1'000'000, 500'000};
+  config.query_cost = engine::QueryCost{0};
+  config.stage_overhead = std::chrono::microseconds(0);
+  return config;
+}
+
+std::vector<engine::Record> small_stream() {
+  workload::SyntheticStream stream(workload::gaussian_substreams(30000.0),
+                                   123);
+  return stream.generate(4.0);  // ~120k records, 8 slides
+}
+
+class SystemsRun : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(SystemsRun, ProcessesEverythingAndProducesWindows) {
+  const auto records = small_stream();
+  const auto result = run_system(GetParam(), records, fast_config());
+  EXPECT_EQ(result.records_processed, records.size());
+  EXPECT_GE(result.windows.size(), 6u);
+  EXPECT_GT(result.throughput(), 0.0);
+}
+
+TEST_P(SystemsRun, SumEstimateWithinTolerance) {
+  const auto records = small_stream();
+  const auto config = fast_config();
+  const auto result = run_system(GetParam(), records, config);
+  const auto exact = exact_window_results(records, config.window);
+
+  QuerySpec query{Aggregation::kSum, false};
+  const auto approx_estimates = evaluate_windows(result.windows, query);
+  const auto exact_estimates = evaluate_windows(exact, query);
+  const double loss =
+      mean_accuracy_loss(approx_estimates, exact_estimates, query);
+  const double tolerance = is_native(GetParam()) ? 1e-9 : 0.05;
+  EXPECT_LE(loss, tolerance) << system_name(GetParam());
+}
+
+TEST_P(SystemsRun, WindowPopulationsAreExact) {
+  // Whatever the sampler does, the C_i counters must add up to the true
+  // number of records in each full window (counters are never sampled) —
+  // except SRS, which only estimates per-stratum populations.
+  if (GetParam() == SystemKind::kSparkSRS) GTEST_SKIP();
+  const auto records = small_stream();
+  const auto config = fast_config();
+  const auto result = run_system(GetParam(), records, config);
+  const auto exact = exact_window_results(records, config.window);
+  ASSERT_FALSE(result.windows.empty());
+
+  std::unordered_map<std::int64_t, std::uint64_t> exact_counts;
+  for (const auto& w : exact) {
+    std::uint64_t count = 0;
+    for (const auto& cell : w.cells) count += cell.seen;
+    exact_counts[w.window_end_us] = count;
+  }
+  for (const auto& w : result.windows) {
+    auto it = exact_counts.find(w.window_end_us);
+    if (it == exact_counts.end()) continue;
+    std::uint64_t count = 0;
+    for (const auto& cell : w.cells) count += cell.seen;
+    EXPECT_EQ(count, it->second)
+        << system_name(GetParam()) << " window " << w.window_end_us;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SystemsRun,
+    ::testing::ValuesIn(kAllSystems),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name = system_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Systems, Names) {
+  EXPECT_EQ(system_name(SystemKind::kFlinkApprox),
+            "Flink-based StreamApprox");
+  EXPECT_EQ(system_name(SystemKind::kNativeSpark), "Native Spark");
+}
+
+TEST(Systems, Classification) {
+  EXPECT_TRUE(is_native(SystemKind::kNativeFlink));
+  EXPECT_FALSE(is_native(SystemKind::kSparkSRS));
+  EXPECT_TRUE(is_batched(SystemKind::kSparkSTS));
+  EXPECT_FALSE(is_batched(SystemKind::kFlinkApprox));
+}
+
+TEST(Systems, NativeSparkSumIsExact) {
+  const auto records = small_stream();
+  const auto config = fast_config();
+  const auto result = run_system(SystemKind::kNativeSpark, records, config);
+  const auto exact = exact_window_results(records, config.window);
+
+  QuerySpec query{Aggregation::kSum, false};
+  const auto a = evaluate_windows(result.windows, query);
+  const auto b = evaluate_windows(exact, query);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].overall.estimate, b[i].overall.estimate,
+                std::abs(b[i].overall.estimate) * 1e-12);
+    EXPECT_DOUBLE_EQ(a[i].overall.variance, 0.0);
+  }
+}
+
+TEST(Systems, ApproxVariantsActuallySample) {
+  const auto records = small_stream();
+  auto config = fast_config();
+  config.sampling_fraction = 0.2;
+  for (SystemKind kind :
+       {SystemKind::kSparkApprox, SystemKind::kFlinkApprox}) {
+    const auto result = run_system(kind, records, config);
+    std::uint64_t sampled = 0;
+    std::uint64_t seen = 0;
+    for (const auto& w : result.windows) {
+      for (const auto& cell : w.cells) {
+        sampled += cell.sampled;
+        seen += cell.seen;
+      }
+    }
+    const double fraction =
+        static_cast<double>(sampled) / static_cast<double>(seen);
+    EXPECT_LT(fraction, 0.35) << system_name(kind);
+    EXPECT_GT(fraction, 0.02) << system_name(kind);
+  }
+}
+
+TEST(Systems, StsRespectsFractionPerStratum) {
+  const auto records = small_stream();
+  auto config = fast_config();
+  config.sampling_fraction = 0.3;
+  const auto result = run_system(SystemKind::kSparkSTS, records, config);
+  std::unordered_map<sampling::StratumId, std::pair<double, double>> totals;
+  for (const auto& w : result.windows) {
+    for (const auto& cell : w.cells) {
+      totals[cell.stratum].first += static_cast<double>(cell.sampled);
+      totals[cell.stratum].second += static_cast<double>(cell.seen);
+    }
+  }
+  for (const auto& [stratum, pair] : totals) {
+    EXPECT_NEAR(pair.first / pair.second, 0.3, 0.05)
+        << "stratum " << stratum;
+  }
+}
+
+TEST(Systems, FiveSecondWindowRequiresAlignedBatches) {
+  auto config = fast_config();
+  config.batch_interval_us = 300'000;  // does not divide 500ms slide
+  EXPECT_THROW(
+      run_system(SystemKind::kNativeSpark, small_stream(), config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamapprox::core

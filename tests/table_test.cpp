@@ -1,0 +1,54 @@
+// Tests for the ASCII table renderer used by the benchmark harness.
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace streamapprox {
+namespace {
+
+TEST(Table, RendersTitleHeadersAndRows) {
+  Table table("Throughput", {"System", "items/s"});
+  table.add_row({"Native Spark", "123"});
+  table.add_row({"StreamApprox", "456"});
+  const auto text = table.render();
+  EXPECT_NE(text.find("Throughput"), std::string::npos);
+  EXPECT_NE(text.find("System"), std::string::npos);
+  EXPECT_NE(text.find("Native Spark"), std::string::npos);
+  EXPECT_NE(text.find("456"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table("T", {"a", "b"});
+  table.add_row({"xxxxxxx", "1"});
+  table.add_row({"y", "2"});
+  const auto text = table.render();
+  // Every data row has the same length when columns are padded.
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!line.empty() && line.front() == '|') lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  ASSERT_GE(lines.size(), 3u);
+  for (const auto& l : lines) EXPECT_EQ(l.size(), lines.front().size());
+}
+
+TEST(Table, HandlesShortRows) {
+  Table table("T", {"a", "b", "c"});
+  table.add_row({"only-one"});
+  const auto text = table.render();
+  EXPECT_NE(text.find("only-one"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(1234.5, 1), "1234.5");
+}
+
+}  // namespace
+}  // namespace streamapprox

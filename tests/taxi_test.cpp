@@ -1,0 +1,65 @@
+// Tests for the NYC-taxi-like generator (case study §6.3 substitute).
+#include "workload/taxi.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace streamapprox::workload {
+namespace {
+
+TEST(Taxi, BoroughNames) {
+  EXPECT_EQ(borough_name(Borough::kManhattan), "Manhattan");
+  EXPECT_EQ(borough_name(Borough::kNewark), "Newark (EWR)");
+}
+
+TEST(Taxi, ConfigValidation) {
+  TaxiConfig bad;
+  bad.shares.pop_back();
+  EXPECT_THROW(taxi_substreams(bad), std::invalid_argument);
+}
+
+TEST(Taxi, SharesAreManhattanDominated) {
+  const auto records = generate_taxi_rides(TaxiConfig{}, 200000, 3);
+  std::unordered_map<sampling::StratumId, double> counts;
+  for (const auto& record : records) counts[record.stratum] += 1.0;
+  const double total = static_cast<double>(records.size());
+  EXPECT_NEAR(counts[0] / total, 0.70, 0.02);   // Manhattan
+  EXPECT_GT(counts[0], counts[1]);
+  // Every borough present, even the ~1% ones.
+  for (sampling::StratumId b = 0; b < kBoroughCount; ++b) {
+    EXPECT_GT(counts[b], 0.0) << borough_name(static_cast<Borough>(b));
+  }
+}
+
+TEST(Taxi, DistancesPositiveWithSensibleMeans) {
+  const auto records = generate_taxi_rides(TaxiConfig{}, 200000, 5);
+  std::unordered_map<sampling::StratumId, streamapprox::RunningStats> stats;
+  for (const auto& record : records) {
+    ASSERT_GT(record.value, 0.0);
+    stats[record.stratum].add(record.value);
+  }
+  // Manhattan trips ~2 miles.
+  EXPECT_NEAR(stats[0].mean(), 2.2 * 0.9, 0.2);
+  // Newark airport trips the longest.
+  const auto newark =
+      static_cast<sampling::StratumId>(Borough::kNewark);
+  for (sampling::StratumId b = 0; b < kBoroughCount - 1; ++b) {
+    EXPECT_GT(stats[newark].mean(), stats[b].mean());
+  }
+}
+
+TEST(Taxi, SortedAndDeterministic) {
+  const auto a = generate_taxi_rides(TaxiConfig{}, 5000, 7);
+  const auto b = generate_taxi_rides(TaxiConfig{}, 5000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    ASSERT_LE(a[i - 1].event_time_us, a[i].event_time_us);
+    ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace streamapprox::workload

@@ -1,0 +1,118 @@
+// Tests for the stage-oriented thread pool.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace streamapprox {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::promise<void> done;
+  auto future = done.get_future();
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] {
+      if (counter.fetch_add(1) + 1 == 100) done.set_value();
+    });
+  }
+  future.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForIsABarrier) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    done.fetch_add(1);
+  });
+  // If parallel_for returned before completion this could be < 64.
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelSlicesPartitionExactly) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_slices(103, 4,
+                       [&](std::size_t, std::size_t begin, std::size_t end) {
+                         std::lock_guard lock(mutex);
+                         ranges.emplace_back(begin, end);
+                       });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GE(end, begin);
+    covered += end - begin;
+    expected_begin = end;
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(ThreadPool, ParallelSlicesMoreSlicesThanItems) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_slices(3, 10,
+                       [&](std::size_t, std::size_t begin, std::size_t end) {
+                         count += static_cast<int>(end - begin);
+                       });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) {
+    sum += static_cast<long long>(i);
+  });
+  EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, NestedStagesSequential) {
+  // Two consecutive barriers: second stage must observe all of first.
+  ThreadPool pool(4);
+  std::vector<int> data(256, 0);
+  pool.parallel_for(256, [&](std::size_t i) { data[i] = 1; });
+  std::atomic<int> sum{0};
+  pool.parallel_for(256, [&](std::size_t i) { sum += data[i]; });
+  EXPECT_EQ(sum.load(), 256);
+}
+
+}  // namespace
+}  // namespace streamapprox

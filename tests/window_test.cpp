@@ -1,0 +1,135 @@
+// Tests for sliding-window assembly and event-time interval splitting.
+#include "engine/window.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/record.h"
+
+namespace streamapprox::engine {
+namespace {
+
+estimation::StratumSummary cell(sampling::StratumId stratum, double sum) {
+  estimation::StratumSummary s;
+  s.stratum = stratum;
+  s.seen = 1;
+  s.sampled = 1;
+  s.sum = sum;
+  return s;
+}
+
+TEST(WindowConfig, SlidesPerWindow) {
+  WindowConfig config;
+  config.size_us = 10'000'000;
+  config.slide_us = 5'000'000;
+  EXPECT_EQ(config.slides_per_window(), 2u);
+}
+
+TEST(Assembler, RejectsBadGeometry) {
+  EXPECT_THROW(SlidingWindowAssembler({10, 0}), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowAssembler({10, 3}), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowAssembler({10, 20}), std::invalid_argument);
+  EXPECT_NO_THROW(SlidingWindowAssembler({10, 10}));
+}
+
+TEST(Assembler, FirstWindowAfterFill) {
+  SlidingWindowAssembler assembler({10, 5});  // 2 slides per window
+  EXPECT_FALSE(assembler.push_slide({cell(0, 1.0)}).has_value());
+  const auto window = assembler.push_slide({cell(0, 2.0)});
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->window_start_us, 0);
+  EXPECT_EQ(window->window_end_us, 10);
+  ASSERT_EQ(window->cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(window->cells[0].sum + window->cells[1].sum, 3.0);
+}
+
+TEST(Assembler, SlidesDropOldestCells) {
+  SlidingWindowAssembler assembler({10, 5});
+  assembler.push_slide({cell(0, 1.0)});
+  assembler.push_slide({cell(0, 2.0)});
+  const auto window = assembler.push_slide({cell(0, 4.0)});
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->window_start_us, 5);
+  EXPECT_EQ(window->window_end_us, 15);
+  double sum = 0.0;
+  for (const auto& c : window->cells) sum += c.sum;
+  EXPECT_DOUBLE_EQ(sum, 6.0);  // slide 0's cell (1.0) aged out
+}
+
+TEST(Assembler, TumblingWindow) {
+  SlidingWindowAssembler assembler({5, 5});  // size == slide
+  const auto w1 = assembler.push_slide({cell(0, 1.0)});
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(w1->window_start_us, 0);
+  EXPECT_EQ(w1->window_end_us, 5);
+  const auto w2 = assembler.push_slide({cell(0, 2.0)});
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->window_start_us, 5);
+  ASSERT_EQ(w2->cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(w2->cells[0].sum, 2.0);
+}
+
+TEST(Assembler, EmptySlidesStillAdvanceTime) {
+  SlidingWindowAssembler assembler({10, 5});
+  assembler.push_slide({});
+  const auto window = assembler.push_slide({});
+  ASSERT_TRUE(window.has_value());
+  EXPECT_TRUE(window->cells.empty());
+  EXPECT_EQ(assembler.slides_pushed(), 2u);
+}
+
+TEST(SplitByInterval, BasicSplit) {
+  std::vector<Record> records = {
+      {0, 1.0, 100}, {0, 1.0, 900},    // interval 0: [0, 1000)
+      {0, 1.0, 1000}, {0, 1.0, 1500},  // interval 1
+      {0, 1.0, 2100},                  // interval 2
+  };
+  const auto ranges = split_by_interval(records, 1000);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(ranges[1], (std::pair<std::size_t, std::size_t>{2, 4}));
+  EXPECT_EQ(ranges[2], (std::pair<std::size_t, std::size_t>{4, 5}));
+}
+
+TEST(SplitByInterval, EmptyIntervalsPreserved) {
+  std::vector<Record> records = {
+      {0, 1.0, 100},
+      {0, 1.0, 3500},  // intervals 1 and 2 are empty
+  };
+  const auto ranges = split_by_interval(records, 1000);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[1].first, ranges[1].second);
+  EXPECT_EQ(ranges[2].first, ranges[2].second);
+  EXPECT_EQ(ranges[3], (std::pair<std::size_t, std::size_t>{1, 2}));
+}
+
+TEST(SplitByInterval, EmptyInput) {
+  const auto ranges = split_by_interval({}, 1000);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(SplitByInterval, NonPositiveIntervalYieldsOneRange) {
+  std::vector<Record> records = {{0, 1.0, 5}, {0, 1.0, 10}};
+  const auto ranges = split_by_interval(records, 0);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+}
+
+TEST(SplitByInterval, RangesCoverEveryRecordExactlyOnce) {
+  std::vector<Record> records;
+  for (int i = 0; i < 1000; ++i) {
+    records.push_back({0, 1.0, static_cast<std::int64_t>(i * 37)});
+  }
+  const auto ranges = split_by_interval(records, 500);
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    covered += end - begin;
+    expected_begin = end;
+  }
+  EXPECT_EQ(covered, records.size());
+}
+
+}  // namespace
+}  // namespace streamapprox::engine

@@ -1,0 +1,134 @@
+// Tests for the synthetic workload generators (§5.1 micro-benchmarks).
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace streamapprox::workload {
+namespace {
+
+TEST(Distribution, SampleMeansMatchAnalytic) {
+  streamapprox::Rng rng(1);
+  const std::vector<Distribution> dists = {
+      Gaussian{10.0, 5.0}, Poisson{1000.0}, Uniform{2.0, 8.0},
+      LogNormal{1.0, 0.5}, Gamma{3.0, 2.0}};
+  for (const auto& dist : dists) {
+    streamapprox::RunningStats stats;
+    for (int i = 0; i < 100000; ++i) stats.add(sample_value(dist, rng));
+    const double expected = distribution_mean(dist);
+    EXPECT_NEAR(stats.mean(), expected,
+                std::max(0.05 * std::abs(expected), 0.05));
+    const double expected_var = distribution_variance(dist);
+    EXPECT_NEAR(stats.variance(), expected_var, 0.1 * expected_var + 0.1);
+  }
+}
+
+TEST(SyntheticStream, RejectsBadSpecs) {
+  EXPECT_THROW(SyntheticStream({}, 1), std::invalid_argument);
+  EXPECT_THROW(
+      SyntheticStream({{0, Gaussian{}, 0.0}, {1, Gaussian{}, 0.0}}, 1),
+      std::invalid_argument);
+}
+
+TEST(SyntheticStream, GeneratesSortedTimes) {
+  SyntheticStream stream(gaussian_substreams(9000.0), 7);
+  const auto records = stream.generate(2.0);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    ASSERT_LE(records[i - 1].event_time_us, records[i].event_time_us);
+  }
+  // ~9000/s * 2s.
+  EXPECT_NEAR(static_cast<double>(records.size()), 18000.0, 10.0);
+  // All event times inside [0, 2s).
+  EXPECT_GE(records.front().event_time_us, 0);
+  EXPECT_LT(records.back().event_time_us, 2'000'000);
+}
+
+TEST(SyntheticStream, RatesAreRespectedPerStratum) {
+  SyntheticStream stream(gaussian_substreams_rates(8000, 2000, 100), 9);
+  const auto records = stream.generate(5.0);
+  std::unordered_map<sampling::StratumId, std::size_t> counts;
+  for (const auto& record : records) ++counts[record.stratum];
+  EXPECT_NEAR(static_cast<double>(counts[0]), 40000.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(counts[1]), 10000.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(counts[2]), 500.0, 5.0);
+}
+
+TEST(SyntheticStream, PerIntervalCountsAreStable) {
+  // Jittered spacing keeps every 1-second interval near its nominal rate —
+  // what the arrival-rate experiments (§5.4) depend on.
+  SyntheticStream stream(gaussian_substreams(6000.0), 11);
+  const auto records = stream.generate(5.0);
+  std::vector<std::size_t> per_second(5, 0);
+  for (const auto& record : records) {
+    ++per_second[static_cast<std::size_t>(record.event_time_us / 1'000'000)];
+  }
+  for (auto count : per_second) {
+    EXPECT_NEAR(static_cast<double>(count), 6000.0, 60.0);
+  }
+}
+
+TEST(SyntheticStream, DeterministicBySeed) {
+  SyntheticStream a(gaussian_substreams(1000.0), 42);
+  SyntheticStream b(gaussian_substreams(1000.0), 42);
+  const auto ra = a.generate(1.0);
+  const auto rb = b.generate(1.0);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].stratum, rb[i].stratum);
+    ASSERT_EQ(ra[i].value, rb[i].value);
+    ASSERT_EQ(ra[i].event_time_us, rb[i].event_time_us);
+  }
+  SyntheticStream c(gaussian_substreams(1000.0), 43);
+  const auto rc = c.generate(1.0);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(ra.size(), rc.size()); ++i) {
+    if (ra[i].value != rc[i].value) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticStream, GenerateCountApproximatesTarget) {
+  SyntheticStream stream(gaussian_substreams(9000.0), 5);
+  const auto records = stream.generate_count(50000);
+  EXPECT_NEAR(static_cast<double>(records.size()), 50000.0, 50.0);
+}
+
+TEST(SyntheticStream, ValuesFollowStratumDistribution) {
+  SyntheticStream stream(gaussian_substreams(30000.0), 3);
+  const auto records = stream.generate(3.0);
+  std::unordered_map<sampling::StratumId, streamapprox::RunningStats> stats;
+  for (const auto& record : records) stats[record.stratum].add(record.value);
+  EXPECT_NEAR(stats[0].mean(), 10.0, 0.5);
+  EXPECT_NEAR(stats[1].mean(), 1000.0, 5.0);
+  EXPECT_NEAR(stats[2].mean(), 10000.0, 50.0);
+}
+
+TEST(CannedWorkloads, SkewSharesMatchPaper) {
+  const auto gaussian = skewed_gaussian_substreams(10000.0);
+  ASSERT_EQ(gaussian.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaussian[0].rate_per_sec, 8000.0);
+  EXPECT_DOUBLE_EQ(gaussian[1].rate_per_sec, 1900.0);
+  EXPECT_DOUBLE_EQ(gaussian[2].rate_per_sec, 100.0);
+
+  const auto poisson = skewed_poisson_substreams(10000.0);
+  EXPECT_DOUBLE_EQ(poisson[0].rate_per_sec, 8000.0);
+  EXPECT_DOUBLE_EQ(poisson[1].rate_per_sec, 1999.0);
+  EXPECT_DOUBLE_EQ(poisson[2].rate_per_sec, 1.0);
+}
+
+TEST(CannedWorkloads, PoissonParamsMatchPaper) {
+  const auto specs = poisson_substreams(9000.0);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_DOUBLE_EQ(std::get<Poisson>(specs[0].dist).lambda, 10.0);
+  EXPECT_DOUBLE_EQ(std::get<Poisson>(specs[1].dist).lambda, 1000.0);
+  EXPECT_DOUBLE_EQ(std::get<Poisson>(specs[2].dist).lambda, 1e8);
+}
+
+}  // namespace
+}  // namespace streamapprox::workload
