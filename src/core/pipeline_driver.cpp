@@ -1,0 +1,237 @@
+#include "core/pipeline_driver.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "estimation/estimators.h"
+
+namespace streamapprox::core {
+namespace {
+
+/// Turns a stratified sample into per-stratum cells, charging the per-record
+/// query cost against every SAMPLED item — the work the system actually
+/// performs, and exactly what approximation saves on the skipped items.
+std::vector<estimation::StratumSummary> summarize_with_cost(
+    const sampling::StratifiedSample<engine::Record>& sample,
+    engine::QueryCost work) {
+  std::vector<estimation::StratumSummary> cells;
+  cells.reserve(sample.strata.size());
+  for (const auto& stratum : sample.strata) {
+    estimation::StratumSummary cell;
+    cell.stratum = stratum.stratum;
+    cell.seen = stratum.seen;
+    cell.sampled = stratum.items.size();
+    cell.weight = stratum.weight;
+    for (const auto& record : stratum.items) {
+      const double value = work.charge(record.value);
+      cell.sum += value;
+      cell.sum_sq += value * value;
+    }
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+estimation::FeedbackConfig feedback_config_for(
+    const PipelineDriverConfig& config) {
+  estimation::FeedbackConfig feedback;
+  feedback.target_relative_error =
+      config.budget.kind == estimation::BudgetKind::kRelativeError
+          ? config.budget.value
+          : 0.01;
+  return feedback;
+}
+
+}  // namespace
+
+PipelineDriver::PipelineDriver(PipelineDriverConfig config, OutputFn on_output,
+                               WindowFn on_window)
+    : config_(std::move(config)),
+      on_output_(std::move(on_output)),
+      on_window_(std::move(on_window)),
+      assembler_(config_.window),
+      feedback_(feedback_config_for(config_), config_.initial_budget),
+      slide_budget_(config_.initial_budget) {}
+
+sampling::OasrsConfig PipelineDriver::slide_sampler_config(
+    std::int64_t slide, std::size_t shard, std::size_t shards) const {
+  sampling::OasrsConfig oasrs;
+  oasrs.seed = config_.seed +
+               static_cast<std::uint64_t>(slide) * 1099511628211ULL +
+               static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ULL;
+  const std::size_t budget = slide_budget_.load(std::memory_order_relaxed);
+  oasrs.total_budget =
+      shards <= 1 ? budget : std::max<std::size_t>(1, budget / shards);
+  return oasrs;
+}
+
+PipelineDriver::Sampler& PipelineDriver::sampler_for(std::int64_t slide) {
+  auto it = open_slides_.find(slide);
+  if (it == open_slides_.end()) {
+    it = open_slides_
+             .try_emplace(slide, slide_sampler_config(slide),
+                          engine::RecordStratum{})
+             .first;
+  }
+  return it->second;
+}
+
+bool PipelineDriver::offer(const engine::Record& record) {
+  const std::int64_t slide =
+      record.event_time_us / config_.window.slide_us;
+  if (closed_any_) {
+    if (next_to_close_ && slide < *next_to_close_) return false;  // late
+  } else {
+    // Cold start: the first slide to close is the earliest slide observed,
+    // not slide 0 — a stream starting at a large event time (epoch-stamped
+    // taxi data) must not sweep through millions of empty slides.
+    next_to_close_ = next_to_close_ ? std::min(*next_to_close_, slide) : slide;
+  }
+  sampler_for(slide).offer(record);
+  return true;
+}
+
+std::size_t PipelineDriver::advance(std::int64_t watermark) {
+  if (!next_to_close_) return 0;
+  std::size_t closed = 0;
+  while ((*next_to_close_ + 1) * config_.window.slide_us <= watermark) {
+    close_internal(*next_to_close_);
+    ++*next_to_close_;
+    ++closed;
+  }
+  return closed;
+}
+
+void PipelineDriver::finish() {
+  while (!open_slides_.empty()) {
+    const std::int64_t slide = open_slides_.begin()->first;
+    while (next_to_close_ && *next_to_close_ < slide) {
+      close_internal(*next_to_close_);  // empty slides advance the assembler
+      ++*next_to_close_;
+    }
+    close_internal(slide);
+    next_to_close_ = slide + 1;
+  }
+}
+
+void PipelineDriver::close_internal(std::int64_t slide) {
+  if (!closed_any_) assembler_.set_base_slide(slide);
+  auto it = open_slides_.find(slide);
+  if (it == open_slides_.end()) {
+    complete_slide({}, nullptr);
+    return;
+  }
+  auto sample = it->second.take();
+  open_slides_.erase(it);
+  complete_slide(summarize_with_cost(sample, config_.query_cost), &sample);
+}
+
+void PipelineDriver::pad_until(std::int64_t slide) {
+  if (next_to_close_ && slide < *next_to_close_) {
+    throw std::logic_error(
+        "PipelineDriver: slides must be closed in increasing order");
+  }
+  if (!next_to_close_) next_to_close_ = slide;
+  if (!closed_any_) assembler_.set_base_slide(*next_to_close_);
+  while (*next_to_close_ < slide) {
+    complete_slide({}, nullptr);
+    ++*next_to_close_;
+  }
+}
+
+void PipelineDriver::close_slide_sample(
+    std::int64_t slide, sampling::StratifiedSample<engine::Record> sample) {
+  pad_until(slide);
+  complete_slide(summarize_with_cost(sample, config_.query_cost), &sample);
+  ++*next_to_close_;
+}
+
+void PipelineDriver::close_slide_cells(
+    std::int64_t slide, std::vector<estimation::StratumSummary> cells) {
+  pad_until(slide);
+  complete_slide(std::move(cells), nullptr);
+  ++*next_to_close_;
+}
+
+void PipelineDriver::complete_slide(
+    std::vector<estimation::StratumSummary> cells,
+    const sampling::StratifiedSample<engine::Record>* sample_for_histogram) {
+  closed_any_ = true;
+
+  // Per-slide weighted histograms for the optional HISTOGRAM query; the
+  // window histogram is the merge of its slides' histograms.
+  const std::size_t slides_per_window = config_.window.slides_per_window();
+  if (config_.histogram) {
+    if (sample_for_histogram != nullptr) {
+      slide_histograms_.push_back(estimation::weighted_histogram(
+          *sample_for_histogram, engine::RecordValue{}, *config_.histogram));
+    } else {
+      slide_histograms_.emplace_back(config_.histogram->lo,
+                                     config_.histogram->hi,
+                                     config_.histogram->buckets);
+    }
+    if (slide_histograms_.size() > slides_per_window) {
+      slide_histograms_.pop_front();
+    }
+  }
+
+  // Budget bookkeeping only matters when someone consumes the budget; in
+  // raw-window harness mode (evaluate == false) no sampler reads it, so the
+  // cells copy and the cost-function call stay out of the timed loop.
+  if (config_.evaluate) {
+    std::uint64_t slide_seen = 0;
+    for (const auto& cell : cells) slide_seen += cell.seen;
+    last_slide_seen_ = slide_seen;
+    last_cells_ = cells;
+  }
+
+  bool fed_back = false;
+  if (auto window = assembler_.push_slide(std::move(cells))) {
+    ++windows_emitted_;
+    if (!config_.evaluate) {
+      if (on_window_) on_window_(std::move(*window));
+    } else {
+      WindowOutput output;
+      for (const auto& cell : window->cells) {
+        output.records_seen += cell.seen;
+        output.records_sampled += cell.sampled;
+      }
+      auto estimates = evaluate_windows({*window}, config_.query);
+      output.estimate = std::move(estimates.front());
+      output.budget_in_force = slide_budget_.load(std::memory_order_relaxed);
+      if (config_.histogram) {
+        Histogram merged(config_.histogram->lo, config_.histogram->hi,
+                         config_.histogram->buckets);
+        for (const auto& histogram : slide_histograms_) {
+          merged.merge(histogram);
+        }
+        output.histogram = std::move(merged);
+      }
+      if (on_output_) on_output_(output);
+      if (on_window_) on_window_(std::move(*window));
+
+      // Adaptive feedback (§4.2): with an accuracy budget, grow/shrink the
+      // sample size from the observed error bound.
+      if (config_.budget.kind == estimation::BudgetKind::kRelativeError) {
+        const double bound = output.estimate.overall.relative_bound(config_.z);
+        slide_budget_.store(feedback_.update(bound),
+                            std::memory_order_relaxed);
+        fed_back = true;
+      }
+    }
+  }
+  if (!fed_back && config_.evaluate &&
+      config_.budget.kind != estimation::BudgetKind::kRelativeError) {
+    // Non-accuracy budgets: re-derive the sample size from the cost
+    // function using the freshest arrival statistics.
+    slide_budget_.store(
+        std::max<std::size_t>(
+            1, cost_function_.sample_size(config_.budget, last_slide_seen_,
+                                          last_cells_)),
+        std::memory_order_relaxed);
+  }
+}
+
+}  // namespace streamapprox::core

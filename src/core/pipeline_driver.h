@@ -1,0 +1,199 @@
+// The reusable slide-lifecycle engine every execution path runs on.
+//
+// StreamApprox processes a stream as a sequence of event-time slides; for
+// each slide it must (1) hold an OASRS sampler while the slide is open,
+// (2) close the slide once the low-watermark passes its end, turning the
+// sample into per-stratum summary cells, (3) maintain the per-slide
+// histogram ring for approximate HISTOGRAM queries, (4) assemble closed
+// slides into sliding windows and evaluate the query, and (5) feed the
+// observed error bound back into the sample budget (§4.2 adaptive feedback).
+//
+// That lifecycle used to live inline in StreamApprox::run(); it is extracted
+// here so three execution paths can share it:
+//
+//   * the sequential live path  — offer()/advance(watermark)/finish(), the
+//     driver owns one sampler per open slide; the caller owns the watermark;
+//   * the sharded live path     — N workers sample their partition subsets
+//     locally, a merger OasrsSampler::merge()s them and hands the merged
+//     sample to close_slide_sample();
+//   * the evaluation harness    — engines produce per-slide cells directly
+//     and hand them to close_slide_cells() (core/systems.cpp).
+//
+// The driver is not thread-safe: exactly one thread may drive the lifecycle.
+// The single exception is current_budget(), which is atomic so sharded
+// workers can pick up re-tuned budgets for newly opened slides without
+// synchronising with the merger.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/query.h"
+#include "engine/query_cost.h"
+#include "engine/window.h"
+#include "estimation/cost_function.h"
+#include "estimation/feedback.h"
+#include "estimation/histogram_query.h"
+#include "sampling/oasrs.h"
+
+namespace streamapprox::core {
+
+/// Per-window output delivered to the user: the estimate with its error
+/// bound plus the sampling effort that produced it.
+struct WindowOutput {
+  WindowEstimate estimate;
+  std::uint64_t records_seen = 0;     ///< Σ C_i in the window
+  std::uint64_t records_sampled = 0;  ///< Σ Y_i in the window
+  std::size_t budget_in_force = 0;    ///< per-slide sample budget used
+  /// Population-scale value histogram (present when the config asked for
+  /// one): bucket masses estimate full-population counts.
+  std::optional<Histogram> histogram;
+};
+
+/// Configuration of the slide lifecycle.
+struct PipelineDriverConfig {
+  /// The streaming query evaluated per window.
+  QuerySpec query{};
+  /// The user's query budget (fraction / latency / tokens / accuracy).
+  estimation::QueryBudget budget = estimation::QueryBudget::fraction(0.6);
+  /// Sliding-window geometry.
+  engine::WindowConfig window{};
+  /// Per-record query cost model, charged against sampled items at close.
+  engine::QueryCost query_cost{};
+  /// Confidence (standard deviations) for bounds and the feedback loop.
+  double z = 2.0;
+  /// Optional approximate HISTOGRAM query (§3.2).
+  std::optional<estimation::HistogramSpec> histogram;
+  /// RNG seed; per-slide sampler seeds are derived deterministically.
+  std::uint64_t seed = 2017;
+  /// Sample budget before any arrival statistics exist; the cost function /
+  /// feedback loop re-tunes it from the first completed slide on.
+  std::size_t initial_budget = 1024;
+  /// When false, windows are reported raw (on_window) without query
+  /// evaluation — the evaluation harness computes its own metrics.
+  bool evaluate = true;
+};
+
+/// Drives slides from open to closed to windowed, with adaptive feedback.
+class PipelineDriver {
+ public:
+  /// The per-slide OASRS sampler type shared by all execution paths.
+  using Sampler =
+      sampling::OasrsSampler<engine::Record, engine::RecordStratum>;
+  using OutputFn = std::function<void(const WindowOutput&)>;
+  /// Takes the window by value: raw-window mode moves it out, keeping the
+  /// evaluation harness's timed loop free of per-window cell copies.
+  using WindowFn = std::function<void(engine::WindowResult)>;
+
+  /// Creates a driver. `on_output` receives evaluated window outputs (may be
+  /// null when config.evaluate is false); `on_window` receives the raw
+  /// window cells (may be null).
+  PipelineDriver(PipelineDriverConfig config, OutputFn on_output,
+                 WindowFn on_window = {});
+
+  // ---- Sequential ingest path --------------------------------------------
+
+  /// Routes one record into its slide's sampler. Records belonging to
+  /// already-closed slides (late beyond the watermark) are dropped. Returns
+  /// true when the record was accepted.
+  bool offer(const engine::Record& record);
+
+  /// Closes every slide whose end `watermark` has passed. The caller owns
+  /// the watermark computation (per-partition clocks with exhausted and
+  /// idle partitions excluded — see StreamApprox::run_sequential /
+  /// run_sharded); the driver owns only the slide lifecycle. Returns the
+  /// number of slides closed.
+  std::size_t advance(std::int64_t watermark);
+
+  /// Input exhausted: flushes every remaining open slide in order, padding
+  /// interior empty slides so the window assembler stays aligned.
+  void finish();
+
+  // ---- External-sampler path (sharded merger, evaluation harness) --------
+
+  /// Closes `slide` with an externally produced stratified sample. Slides
+  /// must arrive in increasing order; interior gaps are padded with empty
+  /// slides. The first call pins the cold-start slide index.
+  void close_slide_sample(std::int64_t slide,
+                          sampling::StratifiedSample<engine::Record> sample);
+
+  /// Closes `slide` with pre-summarised cells (engines that aggregate
+  /// without materialising a sample). Same ordering contract as
+  /// close_slide_sample. No histogram contribution.
+  void close_slide_cells(std::int64_t slide,
+                         std::vector<estimation::StratumSummary> cells);
+
+  /// Sampler configuration for one shard of one slide: the total budget in
+  /// force is split evenly across `shards`, and the seed is deterministic in
+  /// (driver seed, slide, shard). shard 0 of 1 reproduces the sequential
+  /// path's sampler exactly.
+  sampling::OasrsConfig slide_sampler_config(std::int64_t slide,
+                                             std::size_t shard = 0,
+                                             std::size_t shards = 1) const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  /// The per-slide sample budget currently in force (atomic: sharded workers
+  /// read it concurrently with the merger re-tuning it).
+  std::size_t current_budget() const noexcept {
+    return slide_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// The next slide index to close; nullopt before the first record/close
+  /// (the cold-start fix: a stream starting at a large event time does not
+  /// sweep through millions of empty slides from zero).
+  std::optional<std::int64_t> next_to_close() const noexcept {
+    return next_to_close_;
+  }
+
+  /// Windows emitted so far.
+  std::uint64_t windows_emitted() const noexcept { return windows_emitted_; }
+
+  /// The window geometry in force.
+  const engine::WindowConfig& window_config() const noexcept {
+    return config_.window;
+  }
+
+ private:
+  /// Looks up (or opens) the sampler of `slide` on the sequential path.
+  Sampler& sampler_for(std::int64_t slide);
+
+  /// Closes one slide owned by the internal map (sequential path).
+  void close_internal(std::int64_t slide);
+
+  /// Pads empty closed slides so `slide` becomes the next to close.
+  void pad_until(std::int64_t slide);
+
+  /// The shared lifecycle tail: cells (+ optional histogram sample) of one
+  /// closed slide go through the histogram ring, the window assembler, query
+  /// evaluation and the feedback loop.
+  void complete_slide(
+      std::vector<estimation::StratumSummary> cells,
+      const sampling::StratifiedSample<engine::Record>* sample_for_histogram);
+
+  PipelineDriverConfig config_;
+  OutputFn on_output_;
+  WindowFn on_window_;
+
+  engine::SlidingWindowAssembler assembler_;
+  estimation::CostFunction cost_function_;
+  estimation::FeedbackController feedback_;
+  std::atomic<std::size_t> slide_budget_;
+
+  std::map<std::int64_t, Sampler> open_slides_;
+  std::optional<std::int64_t> next_to_close_;
+  bool closed_any_ = false;
+
+  std::deque<Histogram> slide_histograms_;
+  std::uint64_t last_slide_seen_ = 0;
+  std::vector<estimation::StratumSummary> last_cells_;
+  std::uint64_t windows_emitted_ = 0;
+};
+
+}  // namespace streamapprox::core

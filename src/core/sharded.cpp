@@ -1,0 +1,235 @@
+// Sharded execution of the StreamApprox facade — the paper's central
+// "no synchronisation between workers" claim (§3.2, Algorithm 3) realised:
+//
+//   consumer group   partitions split round-robin across N workers
+//   N workers        each samples its sub-streams with LOCAL per-slide
+//                    OASRS samplers; no lock is shared between two workers
+//                    on the sampling hot path (each worker's mutex exists
+//                    only to hand closed slides to the merger)
+//   merger           once the global low-watermark (the slowest partition's
+//                    high-water timestamp) passes a slide's end, extracts
+//                    that slide's sampler from every worker, concatenates
+//                    them with OasrsSampler::merge(), and closes the slide
+//                    through the shared PipelineDriver — estimator inputs
+//                    identical to the sequential path modulo stratum order,
+//                    because the broker routes each stratum to exactly one
+//                    partition and therefore to exactly one worker.
+//
+// The adaptive feedback loop still works: the merger re-tunes the driver's
+// budget as windows complete, and workers read the atomic budget when they
+// open samplers for new slides.
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "core/stream_approx.h"
+#include "core/watermark.h"
+#include "ingest/broker.h"
+
+namespace streamapprox::core {
+namespace {
+
+constexpr std::int64_t kNoSlide = std::numeric_limits<std::int64_t>::max();
+
+/// Worker-local state the merger reaches into: the per-slide samplers of one
+/// shard, guarded by a mutex the owning worker holds only while applying a
+/// polled batch (never across polls, never against another worker).
+struct Shard {
+  std::mutex mutex;
+  std::map<std::int64_t, PipelineDriver::Sampler> slides;
+};
+
+void atomic_min(std::atomic<std::int64_t>& target, std::int64_t value) {
+  std::int64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void StreamApprox::run_sharded(
+    const std::function<void(const WindowOutput&)>& on_window) {
+  auto& topic = broker_.topic(config_.topic);
+  const std::size_t partitions = topic.partition_count();
+  const std::size_t workers = std::min(config_.workers, partitions);
+  const std::int64_t slide_us = config_.window.slide_us;
+
+  PipelineDriver driver(driver_config(), on_window);
+  slide_budget_ = driver.current_budget();
+
+  // The consumer group owns the partition split; each worker thread drives
+  // exactly one member (no offset state is shared between threads).
+  ingest::ConsumerGroup group(broker_, config_.topic, workers);
+
+  std::vector<Shard> shards(workers);
+  // Per-partition high-water event-time clocks: kNoClock until the
+  // partition's first record, kPartitionDrained once sealed and drained
+  // (the shared low-watermark policy of core/watermark.h).
+  std::vector<std::atomic<std::int64_t>> clocks(partitions);
+  for (auto& clock : clocks) clock.store(kNoClock, std::memory_order_relaxed);
+  // The earliest slide observed anywhere (the cold-start base slide).
+  std::atomic<std::int64_t> first_slide{kNoSlide};
+  // Slides below this are closed; workers drop records for them as late.
+  std::atomic<std::int64_t> closed_through{
+      std::numeric_limits<std::int64_t>::min()};
+  std::atomic<std::size_t> workers_done{0};
+
+  ThreadPool pool(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&, w] {
+      ingest::Consumer& consumer = group.member(w);
+      const auto& assignment = consumer.assignment();
+      auto& shard = shards[w];
+      std::vector<std::int64_t> batch_clock(partitions, kNoClock);
+      // Volatile-sunk at exit so the parse-work model survives optimisation.
+      double ingest_acc = 0.0;
+      for (;;) {
+        auto records = consumer.poll(config_.poll_batch, /*timeout_ms=*/50);
+        if (!records.empty()) {
+          for (const std::size_t p : assignment) batch_clock[p] = kNoClock;
+          {
+            std::lock_guard lock(shard.mutex);
+            const std::int64_t frozen =
+                closed_through.load(std::memory_order_acquire);
+            for (const auto& record : records) {
+              ingest_acc += config_.ingest_cost.charge(record.value);
+              const std::int64_t slide = record.event_time_us / slide_us;
+              if (slide < frozen) continue;  // late beyond merged watermark
+              auto it = shard.slides.find(slide);
+              if (it == shard.slides.end()) {
+                it = shard.slides
+                         .try_emplace(slide,
+                                      driver.slide_sampler_config(slide, w,
+                                                                  workers),
+                                      engine::RecordStratum{})
+                         .first;
+                atomic_min(first_slide, slide);
+              }
+              it->second.offer(record);
+              const std::size_t p = topic.partition_for_key(record.stratum);
+              batch_clock[p] = std::max(batch_clock[p], record.event_time_us);
+            }
+          }
+          // Publish clocks after the samplers absorbed the batch, so the
+          // merger can never observe a watermark ahead of the samples.
+          for (const std::size_t p : assignment) {
+            if (batch_clock[p] == kNoClock) continue;
+            const std::int64_t previous =
+                clocks[p].load(std::memory_order_relaxed);
+            if (batch_clock[p] > previous) {
+              clocks[p].store(batch_clock[p], std::memory_order_release);
+            }
+          }
+        }
+        // Partitions drained to a sealed end stop gating the watermark, so
+        // an idle partition cannot stall every window behind it.
+        for (std::size_t slot = 0; slot < assignment.size(); ++slot) {
+          if (consumer.partition_exhausted(slot)) {
+            clocks[assignment[slot]].store(kPartitionDrained,
+                                           std::memory_order_release);
+          }
+        }
+        if (records.empty() && consumer.exhausted()) break;
+      }
+      volatile double ingest_sink = ingest_acc;
+      (void)ingest_sink;
+      workers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // ---- Merger: watermark-gated slide closing in the calling thread.
+  const auto close_one = [&](std::int64_t slide) {
+    // Freeze the slide first: a racing worker either got its records in
+    // before extraction (they are merged) or sees the fence and drops them
+    // as late — exactly the sequential path's late-record rule.
+    closed_through.store(slide + 1, std::memory_order_release);
+    PipelineDriver::Sampler merged(driver.slide_sampler_config(slide),
+                                   engine::RecordStratum{});
+    for (auto& shard : shards) {
+      std::map<std::int64_t, PipelineDriver::Sampler>::node_type node;
+      {
+        std::lock_guard lock(shard.mutex);
+        // Stranded entries below the closing slide are late beyond the
+        // watermark (e.g. an idle-excluded partition woke with old data
+        // after slides passed it): discard them, matching the sequential
+        // path, which drops such records at offer time.
+        while (!shard.slides.empty() &&
+               shard.slides.begin()->first < slide) {
+          shard.slides.erase(shard.slides.begin());
+        }
+        node = shard.slides.extract(slide);
+      }
+      if (node) merged.merge(node.mapped());
+    }
+    driver.close_slide_sample(slide, merged.take());
+    slide_budget_ = driver.current_budget();
+  };
+
+  std::optional<std::int64_t> next;
+  bool any_closed = false;
+  Stopwatch idle_watch;
+  std::vector<std::int64_t> clock_snapshot(partitions);
+  for (;;) {
+    const bool all_done =
+        workers_done.load(std::memory_order_acquire) == workers;
+    const bool grace_over =
+        idle_watch.millis() > static_cast<double>(
+                                  config_.idle_partition_timeout_ms);
+    for (std::size_t p = 0; p < partitions; ++p) {
+      clock_snapshot[p] = clocks[p].load(std::memory_order_acquire);
+    }
+    const auto view = evaluate_watermark(clock_snapshot, grace_over);
+    const std::int64_t lo = first_slide.load(std::memory_order_acquire);
+    bool progressed = false;
+    if (lo != kNoSlide && !view.blocked) {
+      if (!next) {
+        next = lo;
+      } else if (!any_closed) {
+        // Nothing closed yet: a slow partition may have delivered an even
+        // earlier slide since the pin — include it rather than strand it.
+        *next = std::min(*next, lo);
+      }
+      for (;;) {
+        bool ripe = false;
+        if (view.flush_all()) {
+          // No partition gates (drained and/or idle past grace): flush
+          // through the last open slide so output is never stranded.
+          std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+          for (auto& shard : shards) {
+            std::lock_guard lock(shard.mutex);
+            if (!shard.slides.empty()) {
+              hi = std::max(hi, shard.slides.rbegin()->first);
+            }
+          }
+          ripe = hi != std::numeric_limits<std::int64_t>::min() && *next <= hi;
+        } else {
+          ripe = (*next + 1) * slide_us <= view.watermark;
+        }
+        if (!ripe) break;
+        close_one(*next);
+        ++*next;
+        any_closed = true;
+        progressed = true;
+      }
+    }
+    if (all_done) break;
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+
+  driver.finish();  // no-op safeguard: external mode leaves nothing open
+  slide_budget_ = driver.current_budget();
+}
+
+}  // namespace streamapprox::core

@@ -1,23 +1,13 @@
 #include "core/stream_approx.h"
 
 #include <algorithm>
-#include <cmath>
-#include <deque>
-#include <map>
-#include <memory>
+#include <vector>
 
+#include "common/clock.h"
+#include "core/watermark.h"
 #include "engine/window.h"
-#include "estimation/estimators.h"
-#include "estimation/histogram_query.h"
-#include "sampling/oasrs.h"
 
 namespace streamapprox::core {
-namespace {
-
-using Sampler =
-    decltype(sampling::make_oasrs<engine::Record>(sampling::OasrsConfig{}));
-
-}  // namespace
 
 StreamApprox::StreamApprox(ingest::Broker& broker, StreamApproxConfig config)
     : broker_(broker), config_(std::move(config)) {
@@ -27,170 +17,77 @@ StreamApprox::StreamApprox(ingest::Broker& broker, StreamApproxConfig config)
   broker_.topic(config_.topic);  // throws if missing
 }
 
+PipelineDriverConfig StreamApprox::driver_config() const {
+  PipelineDriverConfig driver;
+  driver.query = config_.query;
+  driver.budget = config_.budget;
+  driver.window = config_.window;
+  driver.query_cost = config_.query_cost;
+  driver.z = config_.z;
+  driver.histogram = config_.histogram;
+  driver.seed = config_.seed;
+  return driver;
+}
+
 void StreamApprox::run(
     const std::function<void(const WindowOutput&)>& on_window) {
+  if (config_.workers > 1 &&
+      broker_.topic(config_.topic).partition_count() > 1) {
+    run_sharded(on_window);
+  } else {
+    run_sequential(on_window);
+  }
+}
+
+void StreamApprox::run_sequential(
+    const std::function<void(const WindowOutput&)>& on_window) {
+  auto& topic = broker_.topic(config_.topic);
   ingest::Consumer consumer(broker_, config_.topic);
-  engine::SlidingWindowAssembler assembler(config_.window);
+  PipelineDriver driver(driver_config(), on_window);
+  slide_budget_ = driver.current_budget();
 
-  estimation::CostFunction cost_function;
-  estimation::FeedbackConfig feedback_config;
-  feedback_config.target_relative_error =
-      config_.budget.kind == estimation::BudgetKind::kRelativeError
-          ? config_.budget.value
-          : 0.01;
-  estimation::FeedbackController feedback(feedback_config, 1024);
+  // Per-partition high-water clocks driving the shared low-watermark policy
+  // (core/watermark.h): records from a partition whose backlog happens to
+  // be polled late are never dropped as spuriously "late", yet an idle
+  // partition cannot stall a live stream's windows.
+  std::vector<std::int64_t> clocks(topic.partition_count(), kNoClock);
+  Stopwatch idle_watch;
 
-  // Initial budget before any arrival statistics exist; the cost function /
-  // feedback loop re-tunes it from the first completed slide on.
-  slide_budget_ = 1024;
-
-  // The broker delivers each partition in order, but poll() interleaves
-  // partitions, so records are only APPROXIMATELY time-ordered globally.
-  // Each event-time slide therefore keeps its own OASRS sampler, and a
-  // slide is closed only when the watermark — the lowest per-partition
-  // high-water timestamp — passes its end (the standard low-watermark rule;
-  // our Kafka-like producer routes by stratum, so strata double as
-  // partitions for watermark purposes).
-  std::map<std::int64_t, std::unique_ptr<Sampler>> open_slides;
-  std::unordered_map<sampling::StratumId, std::int64_t> partition_clock;
-  std::int64_t next_to_close = 0;  // slide index to close next
-  std::uint64_t last_slide_seen = 0;
-  std::vector<estimation::StratumSummary> last_cells;
-
-  const std::int64_t slide_us = config_.window.slide_us;
-
-  const auto sampler_for = [&](std::int64_t slide) -> Sampler& {
-    auto it = open_slides.find(slide);
-    if (it == open_slides.end()) {
-      sampling::OasrsConfig oasrs;
-      oasrs.seed = config_.seed + static_cast<std::uint64_t>(slide) * 1099511628211ULL;
-      oasrs.total_budget = slide_budget_;
-      it = open_slides
-               .emplace(slide, std::make_unique<Sampler>(
-                                   sampling::make_oasrs<engine::Record>(oasrs)))
-               .first;
-    }
-    return *it->second;
-  };
-
-  // Per-slide weighted histograms for the optional HISTOGRAM query; the
-  // window histogram is the merge of its slides' histograms.
-  std::deque<Histogram> slide_histograms;
-  const std::size_t slides_per_window = config_.window.slides_per_window();
-
-  const auto close_slide = [&](std::int64_t slide) {
-    std::vector<estimation::StratumSummary> cells;
-    std::uint64_t seen = 0;
-    std::uint64_t sampled = 0;
-    auto it = open_slides.find(slide);
-    if (it != open_slides.end()) {
-      auto sample = it->second->take();
-      if (config_.histogram) {
-        slide_histograms.push_back(estimation::weighted_histogram(
-            sample, engine::RecordValue{}, *config_.histogram));
-      }
-      cells.reserve(sample.strata.size());
-      for (const auto& stratum : sample.strata) {
-        estimation::StratumSummary cell;
-        cell.stratum = stratum.stratum;
-        cell.seen = stratum.seen;
-        cell.sampled = stratum.items.size();
-        cell.weight = stratum.weight;
-        for (const auto& record : stratum.items) {
-          const double value = config_.query_cost.charge(record.value);
-          cell.sum += value;
-          cell.sum_sq += value * value;
-        }
-        seen += cell.seen;
-        sampled += cell.sampled;
-        cells.push_back(cell);
-      }
-      open_slides.erase(it);
-    } else if (config_.histogram) {
-      slide_histograms.emplace_back(config_.histogram->lo,
-                                    config_.histogram->hi,
-                                    config_.histogram->buckets);
-    }
-    if (config_.histogram && slide_histograms.size() > slides_per_window) {
-      slide_histograms.pop_front();
-    }
-    last_slide_seen = seen;
-    last_cells = cells;
-
-    bool fed_back = false;
-    if (auto window = assembler.push_slide(std::move(cells))) {
-      WindowOutput output;
-      for (const auto& cell : window->cells) {
-        output.records_seen += cell.seen;
-        output.records_sampled += cell.sampled;
-      }
-      auto estimates = evaluate_windows({*window}, config_.query);
-      output.estimate = std::move(estimates.front());
-      output.budget_in_force = slide_budget_;
-      if (config_.histogram) {
-        Histogram merged(config_.histogram->lo, config_.histogram->hi,
-                         config_.histogram->buckets);
-        for (const auto& histogram : slide_histograms) {
-          merged.merge(histogram);
-        }
-        output.histogram = std::move(merged);
-      }
-      on_window(output);
-
-      // Adaptive feedback (§4.2): with an accuracy budget, grow/shrink the
-      // sample size from the observed error bound.
-      if (config_.budget.kind == estimation::BudgetKind::kRelativeError) {
-        const double bound =
-            output.estimate.overall.relative_bound(config_.z);
-        slide_budget_ = feedback.update(bound);
-        fed_back = true;
-      }
-    }
-    if (!fed_back &&
-        config_.budget.kind != estimation::BudgetKind::kRelativeError) {
-      // Non-accuracy budgets: re-derive the sample size from the cost
-      // function using the freshest arrival statistics.
-      slide_budget_ = std::max<std::size_t>(
-          1, cost_function.sample_size(config_.budget, last_slide_seen,
-                                       last_cells));
-    }
-  };
-
+  // The ingest-work accumulator feeds a volatile sink so the parse-work
+  // model cannot be dead-code-eliminated.
+  double ingest_acc = 0.0;
   for (;;) {
     auto records = consumer.poll(config_.poll_batch, /*timeout_ms=*/50);
-    if (records.empty()) {
-      if (consumer.exhausted()) break;
-      continue;
-    }
     for (const auto& record : records) {
-      const std::int64_t slide = record.event_time_us / slide_us;
-      if (slide < next_to_close) continue;  // late beyond watermark: dropped
-      sampler_for(slide).offer(record);
-      auto& clock = partition_clock[record.stratum];
+      ingest_acc += config_.ingest_cost.charge(record.value);  // parse work
+      driver.offer(record);
+      auto& clock = clocks[topic.partition_for_key(record.stratum)];
       clock = std::max(clock, record.event_time_us);
     }
-    // Watermark = slowest partition's high-water mark.
-    std::int64_t watermark = std::numeric_limits<std::int64_t>::max();
-    for (const auto& [stratum, clock] : partition_clock) {
-      watermark = std::min(watermark, clock);
+    for (std::size_t slot = 0; slot < consumer.assignment().size(); ++slot) {
+      if (consumer.partition_exhausted(slot)) {
+        clocks[consumer.assignment()[slot]] = kPartitionDrained;
+      }
     }
-    if (partition_clock.empty()) continue;
-    while (static_cast<std::int64_t>((next_to_close + 1)) * slide_us <=
-           watermark) {
-      close_slide(next_to_close);
-      ++next_to_close;
+    const bool grace_over =
+        idle_watch.millis() > static_cast<double>(
+                                  config_.idle_partition_timeout_ms);
+    const auto view = evaluate_watermark(clocks, grace_over);
+    if (view.can_close()) {
+      driver.advance(view.watermark);
+    } else if (view.flush_all()) {
+      // No partition gates (drained and/or idle past grace): flush what is
+      // buffered so output is never stranded behind an unsealed idle
+      // partition. Idempotent, and also covers end-of-stream.
+      driver.finish();
     }
+    slide_budget_ = driver.current_budget();
+    if (records.empty() && consumer.exhausted()) break;
   }
-  // Input exhausted: flush every remaining open slide in order.
-  while (!open_slides.empty()) {
-    const std::int64_t slide = open_slides.begin()->first;
-    while (next_to_close < slide) {
-      close_slide(next_to_close);  // empty slides advance the assembler
-      ++next_to_close;
-    }
-    close_slide(slide);
-    next_to_close = slide + 1;
-  }
+  volatile double ingest_sink = ingest_acc;
+  (void)ingest_sink;
+  driver.finish();
+  slide_budget_ = driver.current_budget();
 }
 
 }  // namespace streamapprox::core

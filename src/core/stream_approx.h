@@ -5,6 +5,17 @@
 // error bounds per window; and the adaptive feedback loop re-tunes the
 // sample size whenever the bound exceeds the accuracy target.
 //
+// Two execution modes share the slide lifecycle in core/pipeline_driver.h:
+//
+//   workers == 1   one thread consumes every partition and owns every
+//                  per-slide sampler (the original sequential path);
+//   workers >= 2   a consumer group splits the topic's partitions across N
+//                  worker threads, each sampling its sub-streams with LOCAL
+//                  per-slide OASRS samplers — no synchronisation during
+//                  sampling (paper §3.2 Algorithm 3) — while a merger thread
+//                  closes slides by OasrsSampler::merge()-ing worker-local
+//                  samplers once the global low-watermark passes.
+//
 // This is the public API a downstream user programs against (see
 // examples/quickstart.cpp); the evaluation harness in systems.h bypasses the
 // live broker for reproducible saturation measurements.
@@ -17,6 +28,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "core/pipeline_driver.h"
 #include "core/query.h"
 #include "engine/query_cost.h"
 #include "estimation/cost_function.h"
@@ -38,8 +50,23 @@ struct StreamApproxConfig {
   engine::WindowConfig window{};
   /// How many records to pull per consumer poll.
   std::size_t poll_batch = 4096;
-  /// Per-record query cost model.
+  /// Per-record query cost model (charged against sampled items).
   engine::QueryCost query_cost{};
+  /// Per-record ingest cost model (parse / field conversion work charged
+  /// against EVERY arriving record, before sampling) — the deployment work
+  /// the paper's Kafka connector performs; what the sharded mode
+  /// parallelises.
+  engine::QueryCost ingest_cost{};
+  /// Worker threads for the sharded execution mode. 1 (or 0) = sequential.
+  /// Effective parallelism is capped at the topic's partition count.
+  std::size_t workers = 1;
+  /// Grace period after which a partition that has NEVER delivered a record
+  /// stops gating the watermark (Kafka's idleness rule), so a topic with
+  /// more partitions than sub-streams still emits windows on a live,
+  /// unsealed stream. Partitions that have delivered keep gating by their
+  /// clock; an idle partition that wakes up re-gates (its records may be
+  /// partly late-dropped, as with any late data).
+  std::int64_t idle_partition_timeout_ms = 1000;
   /// Confidence (in standard deviations) used when reporting error bounds
   /// and when driving the feedback loop; the paper's default is 2 (95 %).
   double z = 2.0;
@@ -49,18 +76,6 @@ struct StreamApproxConfig {
   std::optional<estimation::HistogramSpec> histogram;
   /// RNG seed.
   std::uint64_t seed = 2017;
-};
-
-/// Per-window output delivered to the user: the estimate with its error
-/// bound plus the sampling effort that produced it.
-struct WindowOutput {
-  WindowEstimate estimate;
-  std::uint64_t records_seen = 0;     ///< Σ C_i in the window
-  std::uint64_t records_sampled = 0;  ///< Σ Y_i in the window
-  std::size_t budget_in_force = 0;    ///< per-slide sample budget used
-  /// Population-scale value histogram (present when the config asked for
-  /// one): bucket masses estimate full-population counts.
-  std::optional<Histogram> histogram;
 };
 
 /// The approximate stream-analytics system.
@@ -80,6 +95,15 @@ class StreamApprox {
   std::size_t current_budget() const noexcept { return slide_budget_; }
 
  private:
+  /// Maps the facade configuration onto the slide-lifecycle driver's.
+  PipelineDriverConfig driver_config() const;
+
+  /// Single-threaded execution: one consumer, driver-owned samplers.
+  void run_sequential(const std::function<void(const WindowOutput&)>& on_window);
+
+  /// Sharded execution: partition-split workers + watermark-gated merger.
+  void run_sharded(const std::function<void(const WindowOutput&)>& on_window);
+
   ingest::Broker& broker_;
   StreamApproxConfig config_;
   std::size_t slide_budget_ = 0;

@@ -16,6 +16,14 @@ SlidingWindowAssembler::SlidingWindowAssembler(WindowConfig config)
   }
 }
 
+void SlidingWindowAssembler::set_base_slide(std::int64_t base_slide) {
+  if (slide_index_ != 0) {
+    throw std::logic_error(
+        "SlidingWindowAssembler: set_base_slide after push_slide");
+  }
+  base_slide_ = base_slide;
+}
+
 std::optional<WindowResult> SlidingWindowAssembler::push_slide(
     std::vector<estimation::StratumSummary> cells) {
   recent_.push_back(std::move(cells));
@@ -25,7 +33,7 @@ std::optional<WindowResult> SlidingWindowAssembler::push_slide(
 
   WindowResult window;
   window.window_end_us =
-      static_cast<std::int64_t>(slide + 1) * config_.slide_us;
+      (base_slide_ + static_cast<std::int64_t>(slide) + 1) * config_.slide_us;
   window.window_start_us = window.window_end_us - config_.size_us;
   std::size_t total = 0;
   for (const auto& slide_cells : recent_) total += slide_cells.size();

@@ -54,6 +54,12 @@ class SlidingWindowAssembler {
   std::optional<WindowResult> push_slide(
       std::vector<estimation::StratumSummary> cells);
 
+  /// Declares the global index of the first slide that will be pushed, so
+  /// that window timestamps are absolute even for streams whose event times
+  /// start far from zero (e.g. epoch-stamped taxi data). Must be called
+  /// before the first push_slide; defaults to 0.
+  void set_base_slide(std::int64_t base_slide);
+
   /// Number of slides pushed so far.
   std::size_t slides_pushed() const noexcept { return slide_index_; }
 
@@ -63,6 +69,7 @@ class SlidingWindowAssembler {
  private:
   WindowConfig config_;
   std::size_t slides_per_window_;
+  std::int64_t base_slide_ = 0;
   std::size_t slide_index_ = 0;
   std::deque<std::vector<estimation::StratumSummary>> recent_;
 };

@@ -126,39 +126,91 @@ void Producer::finish() { topic_.seal(); }
 
 // ----------------------------------------------------------------- Consumer
 
+namespace {
+
+std::vector<std::size_t> all_partitions_of(const Topic& topic) {
+  std::vector<std::size_t> all(topic.partition_count());
+  for (std::size_t p = 0; p < all.size(); ++p) all[p] = p;
+  return all;
+}
+
+}  // namespace
+
 Consumer::Consumer(Broker& broker, const std::string& topic)
-    : topic_(broker.topic(topic)),
-      offsets_(topic_.partition_count(), 0) {}
+    : Consumer(broker, topic, all_partitions_of(broker.topic(topic))) {}
+
+Consumer::Consumer(Broker& broker, const std::string& topic,
+                   std::vector<std::size_t> assignment)
+    : topic_(broker.topic(topic)), assignment_(std::move(assignment)) {
+  for (const std::size_t p : assignment_) {
+    if (p >= topic_.partition_count()) {
+      throw std::out_of_range("Consumer: partition index out of range");
+    }
+  }
+  std::vector<std::size_t> sorted = assignment_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("Consumer: duplicate partition in assignment");
+  }
+  offsets_.assign(assignment_.size(), 0);
+}
 
 std::vector<engine::Record> Consumer::poll(std::size_t max_records,
                                            std::int64_t timeout_ms) {
   std::vector<engine::Record> out;
+  const std::size_t slots = assignment_.size();
+  if (slots == 0) return out;
   out.reserve(std::min<std::size_t>(max_records, 4096));
-  const std::size_t partitions = topic_.partition_count();
 
-  // First try non-blocking round-robin over partitions.
-  for (std::size_t i = 0; i < partitions && out.size() < max_records; ++i) {
-    const std::size_t p = (next_partition_ + i) % partitions;
-    offsets_[p] =
-        topic_.partition(p).read(offsets_[p], max_records - out.size(), out);
+  // First try non-blocking round-robin over the assigned partitions.
+  for (std::size_t i = 0; i < slots && out.size() < max_records; ++i) {
+    const std::size_t s = (next_slot_ + i) % slots;
+    offsets_[s] = topic_.partition(assignment_[s])
+                      .read(offsets_[s], max_records - out.size(), out);
   }
   // Nothing anywhere: block on the next partition in line for fairness.
   if (out.empty() && timeout_ms > 0) {
-    const std::size_t p = next_partition_;
-    offsets_[p] = topic_.partition(p).read_blocking(offsets_[p], max_records,
-                                                    out, timeout_ms);
+    const std::size_t s = next_slot_;
+    offsets_[s] = topic_.partition(assignment_[s])
+                      .read_blocking(offsets_[s], max_records, out, timeout_ms);
   }
-  next_partition_ = (next_partition_ + 1) % partitions;
+  next_slot_ = (next_slot_ + 1) % slots;
   consumed_ += out.size();
   return out;
 }
 
+bool Consumer::partition_exhausted(std::size_t slot) const {
+  const auto& log = topic_.partition(assignment_.at(slot));
+  return log.sealed() && offsets_.at(slot) >= log.end_offset();
+}
+
 bool Consumer::exhausted() const {
-  for (std::size_t p = 0; p < topic_.partition_count(); ++p) {
-    const auto& log = topic_.partition(p);
-    if (!log.sealed() || offsets_[p] < log.end_offset()) return false;
+  for (std::size_t s = 0; s < assignment_.size(); ++s) {
+    if (!partition_exhausted(s)) return false;
   }
   return true;
+}
+
+// ------------------------------------------------------------ ConsumerGroup
+
+std::vector<std::vector<std::size_t>> ConsumerGroup::assign(
+    std::size_t partitions, std::size_t members) {
+  if (members == 0) members = 1;
+  std::vector<std::vector<std::size_t>> out(members);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    out[p % members].push_back(p);
+  }
+  return out;
+}
+
+ConsumerGroup::ConsumerGroup(Broker& broker, const std::string& topic,
+                             std::size_t members) {
+  const auto assignments =
+      assign(broker.topic(topic).partition_count(), members);
+  members_.reserve(assignments.size());
+  for (const auto& assignment : assignments) {
+    members_.emplace_back(broker, topic, assignment);
+  }
 }
 
 }  // namespace streamapprox::ingest

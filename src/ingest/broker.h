@@ -134,29 +134,77 @@ class Producer {
   std::uint64_t sent_ = 0;
 };
 
-/// Reads all partitions of a topic from tracked offsets.
+/// Reads an assigned subset of a topic's partitions from tracked offsets
+/// (all partitions unless an explicit assignment is given — Kafka's
+/// assign() model, which is how consumer-group sharding reaches the ingest
+/// layer without re-scanning).
 class Consumer {
  public:
-  /// Binds the consumer to a topic, starting at offset 0 everywhere.
+  /// Binds the consumer to every partition of a topic, offset 0 everywhere.
   Consumer(Broker& broker, const std::string& topic);
 
-  /// Polls up to `max_records` records across partitions, blocking up to
-  /// `timeout_ms` for the first record. Returns the records fetched (empty
-  /// when the topic is exhausted and sealed, or the timeout expired).
+  /// Binds the consumer to an explicit partition assignment. Throws
+  /// std::out_of_range for partition indices beyond the topic, and
+  /// std::invalid_argument for duplicate indices. An empty assignment is
+  /// permitted (a group member left without partitions) and is immediately
+  /// exhausted.
+  Consumer(Broker& broker, const std::string& topic,
+           std::vector<std::size_t> assignment);
+
+  /// Polls up to `max_records` records across the assigned partitions,
+  /// blocking up to `timeout_ms` for the first record. Returns the records
+  /// fetched (empty when the assignment is exhausted and sealed, or the
+  /// timeout expired).
   std::vector<engine::Record> poll(std::size_t max_records,
                                    std::int64_t timeout_ms = 100);
 
-  /// True when every partition is sealed and fully consumed.
+  /// True when every assigned partition is sealed and fully consumed.
   bool exhausted() const;
+
+  /// The assigned partition indices, in assignment order.
+  const std::vector<std::size_t>& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// True when assignment slot `slot` (an index into assignment()) is
+  /// sealed and fully consumed — per-partition progress for watermarking.
+  bool partition_exhausted(std::size_t slot) const;
 
   /// Total records consumed.
   std::uint64_t consumed() const noexcept { return consumed_; }
 
  private:
   Topic& topic_;
-  std::vector<Offset> offsets_;
+  std::vector<std::size_t> assignment_;  ///< partition index per slot
+  std::vector<Offset> offsets_;          ///< next offset per slot
   std::uint64_t consumed_ = 0;
-  std::size_t next_partition_ = 0;
+  std::size_t next_slot_ = 0;
+};
+
+/// A consumer group: splits a topic's partitions across `members` consumers
+/// round-robin (partition p -> member p % members), the static equivalent of
+/// Kafka's group rebalancing. Each member is an independent Consumer over a
+/// disjoint partition subset, so N threads can consume one topic with no
+/// shared offset state.
+class ConsumerGroup {
+ public:
+  /// Creates `members` >= 1 consumers over the topic's partitions.
+  ConsumerGroup(Broker& broker, const std::string& topic, std::size_t members);
+
+  /// Number of members.
+  std::size_t size() const noexcept { return members_.size(); }
+
+  /// Access to one member's consumer.
+  Consumer& member(std::size_t index) { return members_.at(index); }
+
+  /// The round-robin partition split: result[m] lists the partitions of
+  /// member m. Exposed for callers that need the assignment shape without
+  /// constructing consumers.
+  static std::vector<std::vector<std::size_t>> assign(std::size_t partitions,
+                                                      std::size_t members);
+
+ private:
+  std::vector<Consumer> members_;
 };
 
 }  // namespace streamapprox::ingest

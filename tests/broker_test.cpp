@@ -168,5 +168,109 @@ TEST(Consumer, ConcurrentProduceConsume) {
   EXPECT_EQ(received, static_cast<std::size_t>(kCount));
 }
 
+// ---- Partition-aware consumers / consumer groups (ingest-layer sharding).
+
+TEST(Consumer, AssignedSubsetReadsOnlyItsPartitions) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  Producer producer(broker, "t");
+  // Strata 0..3 route to partitions 0..3 (stratum % 4).
+  for (int i = 0; i < 400; ++i) {
+    producer.send(make_record(static_cast<sampling::StratumId>(i % 4), i));
+  }
+  producer.finish();
+
+  Consumer consumer(broker, "t", {1, 3});
+  std::size_t count = 0;
+  while (!consumer.exhausted()) {
+    for (const auto& record : consumer.poll(64, 10)) {
+      EXPECT_TRUE(record.stratum == 1 || record.stratum == 3);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 200u);
+  EXPECT_EQ(consumer.assignment(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Consumer, AssignmentValidation) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  EXPECT_THROW(Consumer(broker, "t", {2}), std::out_of_range);
+  EXPECT_THROW(Consumer(broker, "t", {0, 0}), std::invalid_argument);
+}
+
+TEST(Consumer, EmptyAssignmentIsImmediatelyExhausted) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  Consumer consumer(broker, "t", std::vector<std::size_t>{});
+  EXPECT_TRUE(consumer.exhausted());
+  EXPECT_TRUE(consumer.poll(16, 0).empty());
+}
+
+TEST(Consumer, PartitionExhaustedTracksPerPartitionProgress) {
+  Broker broker;
+  auto& topic = broker.create_topic("t", 2);
+  topic.partition(0).append(make_record(0, 1.0));
+  topic.partition(0).seal();
+  // Partition 1 stays open.
+  Consumer consumer(broker, "t", {0, 1});
+  while (!consumer.partition_exhausted(0)) consumer.poll(16, 0);
+  EXPECT_TRUE(consumer.partition_exhausted(0));
+  EXPECT_FALSE(consumer.partition_exhausted(1));
+  EXPECT_FALSE(consumer.exhausted());
+  topic.partition(1).seal();
+  EXPECT_TRUE(consumer.partition_exhausted(1));
+  EXPECT_TRUE(consumer.exhausted());
+}
+
+TEST(ConsumerGroup, RoundRobinAssignmentCoversAllPartitionsDisjointly) {
+  const auto assignments = ConsumerGroup::assign(10, 3);
+  ASSERT_EQ(assignments.size(), 3u);
+  std::vector<bool> covered(10, false);
+  for (const auto& assignment : assignments) {
+    for (const std::size_t p : assignment) {
+      EXPECT_FALSE(covered[p]) << "partition assigned twice";
+      covered[p] = true;
+    }
+  }
+  for (const bool c : covered) EXPECT_TRUE(c);
+  EXPECT_EQ(assignments[0], (std::vector<std::size_t>{0, 3, 6, 9}));
+  EXPECT_EQ(assignments[1], (std::vector<std::size_t>{1, 4, 7}));
+}
+
+TEST(ConsumerGroup, MembersPartitionTheStream) {
+  Broker broker;
+  broker.create_topic("t", 5);
+  Producer producer(broker, "t");
+  for (int i = 0; i < 1000; ++i) {
+    producer.send(make_record(static_cast<sampling::StratumId>(i % 5), i));
+  }
+  producer.finish();
+
+  ConsumerGroup group(broker, "t", 2);
+  ASSERT_EQ(group.size(), 2u);
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < group.size(); ++m) {
+    auto& member = group.member(m);
+    while (!member.exhausted()) total += member.poll(64, 10).size();
+  }
+  EXPECT_EQ(total, 1000u);  // disjoint cover: every record exactly once
+}
+
+TEST(ConsumerGroup, MoreMembersThanPartitions) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  Producer producer(broker, "t");
+  for (int i = 0; i < 100; ++i) producer.send(make_record(0, i));
+  producer.finish();
+  ConsumerGroup group(broker, "t", 4);
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < group.size(); ++m) {
+    auto& member = group.member(m);
+    while (!member.exhausted()) total += member.poll(64, 10).size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
 }  // namespace
 }  // namespace streamapprox::ingest

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <unordered_map>
 
 #include "engine/record.h"
+#include "estimation/estimators.h"
 
 namespace streamapprox::sampling {
 namespace {
@@ -223,6 +225,150 @@ TEST(Oasrs, SampledFractionApproximatesBudget) {
   }
   auto sample = sampler.take();
   EXPECT_NEAR(static_cast<double>(sample.total_sampled()), 3000.0, 3.0);
+}
+
+// ---- Distributed merge (paper §3.2 "Distributed execution"): w workers
+// sample disjoint sub-streams locally; merging concatenates the per-stratum
+// statistics with no synchronisation during sampling.
+
+/// One deterministic pseudo-random stream of `n` records over `strata`
+/// strata with per-stratum value offsets (so per-stratum means differ).
+std::vector<Record> merge_stream(std::size_t n, std::uint32_t strata,
+                                 std::uint64_t seed) {
+  streamapprox::Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto stratum = static_cast<StratumId>(rng.uniform_int(strata));
+    const double value = 100.0 * (stratum + 1) + rng.uniform(-5.0, 5.0);
+    records.push_back(Record{stratum, value, static_cast<std::int64_t>(i)});
+  }
+  return records;
+}
+
+TEST(OasrsMerge, WWaySplitPreservesPerStratumSeenCounts) {
+  constexpr std::size_t kWorkers = 4;
+  const auto records = merge_stream(40000, 6, 2024);
+
+  // Ground truth: a single sampler over the whole stream.
+  OasrsConfig single_config;
+  single_config.total_budget = 1200;
+  single_config.seed = 5;
+  auto single = make_oasrs<Record>(single_config);
+  for (const auto& r : records) single.offer(r);
+  auto single_sample = single.take();
+
+  // w workers, records routed stratum -> worker (the broker's partition
+  // routing): every stratum lives wholly in one worker.
+  OasrsConfig worker_config;
+  worker_config.total_budget = 1200 / kWorkers;
+  std::vector<decltype(make_oasrs<Record>(worker_config))> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    worker_config.seed = 100 + w;
+    workers.push_back(make_oasrs<Record>(worker_config));
+  }
+  for (const auto& r : records) workers[r.stratum % kWorkers].offer(r);
+
+  OasrsConfig merged_config;
+  merged_config.total_budget = 1200;
+  merged_config.seed = 77;
+  auto merged = make_oasrs<Record>(merged_config);
+  for (auto& worker : workers) merged.merge(worker);
+  auto merged_sample = merged.take();
+
+  ASSERT_EQ(merged_sample.strata.size(), single_sample.strata.size());
+  std::unordered_map<StratumId, std::uint64_t> single_seen;
+  for (const auto& s : single_sample.strata) single_seen[s.stratum] = s.seen;
+  for (const auto& s : merged_sample.strata) {
+    ASSERT_TRUE(single_seen.contains(s.stratum));
+    EXPECT_EQ(s.seen, single_seen[s.stratum])
+        << "stratum " << s.stratum;
+    EXPECT_GT(s.items.size(), 0u);
+    EXPECT_LE(s.items.size(), s.seen);
+    // Eq. 1 weight invariant survives the merge.
+    EXPECT_DOUBLE_EQ(
+        s.weight,
+        s.seen > s.items.size()
+            ? static_cast<double>(s.seen) / static_cast<double>(s.items.size())
+            : 1.0);
+  }
+  EXPECT_EQ(merged_sample.total_seen(), records.size());
+}
+
+TEST(OasrsMerge, SameStratumReservoirsCombineCounts) {
+  // Two workers that saw the SAME stratum (overlapping split): merged seen
+  // adds up and the sample stays within capacity.
+  OasrsConfig config = fixed_capacity_config(32, 3);
+  auto a = make_oasrs<Record>(config);
+  config.seed = 4;
+  auto b = make_oasrs<Record>(config);
+  for (int i = 0; i < 500; ++i) a.offer(make_record(1, 1.0));
+  for (int i = 0; i < 300; ++i) b.offer(make_record(1, 2.0));
+  a.merge(b);
+  auto sample = a.take();
+  ASSERT_EQ(sample.strata.size(), 1u);
+  EXPECT_EQ(sample.strata[0].seen, 800u);
+  EXPECT_LE(sample.strata[0].items.size(), 32u);
+  // Items from both sources should be present (binomial slot allocation
+  // makes all-one-source astronomically unlikely at these counts).
+  bool from_a = false;
+  bool from_b = false;
+  for (const auto& r : sample.strata[0].items) {
+    from_a = from_a || r.value == 1.0;
+    from_b = from_b || r.value == 2.0;
+  }
+  EXPECT_TRUE(from_a);
+  EXPECT_TRUE(from_b);
+}
+
+TEST(OasrsMerge, MergedEstimateIsUnbiased) {
+  // Across many seeds, the merged w-way estimate of the stream MEAN must
+  // agree with the single-sampler estimate and with the exact mean.
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kTrials = 30;
+  const auto records = merge_stream(20000, 5, 11);
+  double exact = 0.0;
+  for (const auto& r : records) exact += r.value;
+  exact /= static_cast<double>(records.size());
+
+  double merged_mean_sum = 0.0;
+  double single_mean_sum = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    OasrsConfig config;
+    config.total_budget = 500;
+    config.seed = 1000 + trial;
+    auto single = make_oasrs<Record>(config);
+    for (const auto& r : records) single.offer(r);
+    single_mean_sum +=
+        estimation::estimate_mean(
+            estimation::summarize(single.take(),
+                                  streamapprox::engine::RecordValue{}))
+            .estimate;
+
+    std::vector<decltype(make_oasrs<Record>(config))> workers;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      OasrsConfig worker_config;
+      worker_config.total_budget = 500 / kWorkers;
+      worker_config.seed = 9000 + trial * kWorkers + w;
+      workers.push_back(make_oasrs<Record>(worker_config));
+    }
+    for (const auto& r : records) workers[r.stratum % kWorkers].offer(r);
+    OasrsConfig merged_config;
+    merged_config.total_budget = 500;
+    merged_config.seed = 313 + trial;
+    auto merged = make_oasrs<Record>(merged_config);
+    for (auto& worker : workers) merged.merge(worker);
+    merged_mean_sum +=
+        estimation::estimate_mean(
+            estimation::summarize(merged.take(),
+                                  streamapprox::engine::RecordValue{}))
+            .estimate;
+  }
+  const double merged_mean = merged_mean_sum / kTrials;
+  const double single_mean = single_mean_sum / kTrials;
+  // Strata means span 100..500; a biased merge would miss by tens.
+  EXPECT_NEAR(merged_mean, exact, 2.0);
+  EXPECT_NEAR(merged_mean, single_mean, 2.0);
 }
 
 }  // namespace

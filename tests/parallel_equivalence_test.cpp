@@ -1,0 +1,188 @@
+// Satellite acceptance test: the sharded execution mode (N partition-split
+// OASRS workers + watermark-gated merge) must be statistically equivalent to
+// the sequential path — identical records_seen per window (no record gained
+// or lost by sharding) and estimates that agree within their error bounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/stream_approx.h"
+#include "ingest/replay.h"
+#include "workload/synthetic.h"
+
+namespace streamapprox::core {
+namespace {
+
+std::vector<engine::Record> make_stream(double seconds, double rate,
+                                        std::uint64_t seed) {
+  workload::SyntheticStream stream(workload::gaussian_substreams(rate), seed);
+  return stream.generate(seconds);
+}
+
+StreamApproxConfig base_config(std::size_t workers) {
+  StreamApproxConfig config;
+  config.topic = "input";
+  config.window = {1'000'000, 500'000};
+  config.query = {Aggregation::kMean, false};
+  config.workers = workers;
+  config.seed = 99;
+  return config;
+}
+
+std::vector<WindowOutput> run_mode(const std::vector<engine::Record>& records,
+                                   std::size_t workers,
+                                   std::size_t partitions) {
+  ingest::Broker broker;
+  broker.create_topic("input", partitions);
+  ingest::ReplayTool replay(broker, "input", records, {});
+  StreamApprox system(broker, base_config(workers));
+  std::vector<WindowOutput> outputs;
+  system.run([&](const WindowOutput& output) { outputs.push_back(output); });
+  replay.wait();
+  return outputs;
+}
+
+TEST(ParallelEquivalence, IdenticalSeenCountsPerWindow) {
+  const auto records = make_stream(5.0, 24000.0, 7);
+  const auto sequential = run_mode(records, 1, 3);
+  const auto sharded = run_mode(records, 4, 3);
+
+  ASSERT_GT(sequential.size(), 4u);
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen)
+        << "window " << i;
+    EXPECT_EQ(sequential[i].estimate.window_end_us,
+              sharded[i].estimate.window_end_us)
+        << "window " << i;
+  }
+}
+
+TEST(ParallelEquivalence, EstimatesAgreeWithinErrorBounds) {
+  const auto records = make_stream(5.0, 24000.0, 8);
+  const auto sequential = run_mode(records, 1, 3);
+  const auto sharded = run_mode(records, 4, 3);
+
+  ASSERT_EQ(sequential.size(), sharded.size());
+  std::size_t within = 0;
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    const auto& a = sequential[i].estimate.overall;
+    const auto& b = sharded[i].estimate.overall;
+    EXPECT_GT(b.sample_size, 0u);
+    // Both are unbiased estimators of the same window mean; at 3 sigma the
+    // difference should be inside the summed bounds essentially always.
+    const double tolerance = a.error_bound(3.0) + b.error_bound(3.0);
+    if (std::abs(a.estimate - b.estimate) <= tolerance) ++within;
+  }
+  EXPECT_GE(within, sequential.size() - 1);  // slack for a tiny edge window
+}
+
+TEST(ParallelEquivalence, MorePartitionsThanStrata) {
+  // An idle partition (5 partitions, 3 strata) must not wedge the merger.
+  const auto records = make_stream(3.0, 20000.0, 9);
+  const auto sequential = run_mode(records, 1, 5);
+  const auto sharded = run_mode(records, 4, 5);
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen);
+  }
+}
+
+TEST(ParallelEquivalence, WorkersCappedAtPartitionCount) {
+  // More workers than partitions: extra workers would have no partitions;
+  // the facade caps parallelism and still produces every window.
+  const auto records = make_stream(3.0, 20000.0, 10);
+  const auto sequential = run_mode(records, 1, 2);
+  const auto sharded = run_mode(records, 8, 2);
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen);
+  }
+}
+
+TEST(ParallelEquivalence, IdlePartitionDoesNotStallLiveWindows) {
+  // 5 partitions, 3 strata: partitions 3 and 4 never deliver. On a LIVE
+  // (unsealed) stream, windows must still flow once the idleness grace
+  // period passes — in both execution modes.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ingest::Broker broker;
+    broker.create_topic("input", 5);
+    ingest::Producer producer(broker, "input");
+    producer.send_batch(make_stream(4.0, 20000.0, 12));
+    // NOT sealed: the stream stays live while we look for windows.
+    auto config = base_config(workers);
+    config.idle_partition_timeout_ms = 100;
+    StreamApprox system(broker, config);
+    std::atomic<std::size_t> windows{0};
+    std::thread runner([&] {
+      system.run([&](const WindowOutput&) { windows.fetch_add(1); });
+    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (windows.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(windows.load(), 0u)
+        << "no live windows with workers=" << workers;
+    producer.finish();
+    runner.join();
+  }
+}
+
+TEST(ParallelEquivalence, DrainedActivePlusIdlePartitionStillFlushes) {
+  // The last active partition drains (individually sealed) while an idle
+  // partition stays unsealed: buffered windows must still flush instead of
+  // waiting forever on the idle partition — in both execution modes.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    ingest::Broker broker;
+    auto& topic = broker.create_topic("input", 2);
+    // Stratum 0 routes to partition 0; spans 3 s so several windows close.
+    for (int i = 0; i < 3000; ++i) {
+      topic.partition(0).append(engine::Record{0, 1.0, i * 1000});
+    }
+    topic.partition(0).seal();
+    // Partition 1: never delivers, never sealed (while we watch).
+    auto config = base_config(workers);
+    config.idle_partition_timeout_ms = 100;
+    StreamApprox system(broker, config);
+    std::atomic<std::size_t> windows{0};
+    std::thread runner([&] {
+      system.run([&](const WindowOutput&) { windows.fetch_add(1); });
+    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (windows.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(windows.load(), 0u)
+        << "stranded windows with workers=" << workers;
+    topic.partition(1).seal();
+    runner.join();
+  }
+}
+
+TEST(ParallelEquivalence, ShardedAdaptiveBudgetStillGrows) {
+  const auto records = make_stream(5.0, 30000.0, 11);
+  ingest::Broker broker;
+  broker.create_topic("input", 4);
+  ingest::ReplayTool replay(broker, "input", records, {});
+  auto config = base_config(4);
+  config.budget = estimation::QueryBudget::relative_error(0.001);
+  StreamApprox system(broker, config);
+  std::vector<std::size_t> budgets;
+  system.run([&](const WindowOutput& output) {
+    budgets.push_back(output.budget_in_force);
+  });
+  replay.wait();
+  ASSERT_GE(budgets.size(), 3u);
+  EXPECT_GT(budgets.back(), budgets.front());
+}
+
+}  // namespace
+}  // namespace streamapprox::core

@@ -1,0 +1,213 @@
+// Tests for the reusable slide-lifecycle driver: cold start away from slide
+// zero, sequential offer/advance/finish, the external sample/cells paths and
+// their ordering contract, and budget re-tuning.
+#include "core/pipeline_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "estimation/estimators.h"
+
+namespace streamapprox::core {
+namespace {
+
+using engine::Record;
+
+PipelineDriverConfig small_window_config() {
+  PipelineDriverConfig config;
+  config.window = {1'000'000, 500'000};
+  config.query = {Aggregation::kMean, false};
+  return config;
+}
+
+TEST(PipelineDriver, ColdStartPinsFirstObservedSlide) {
+  // A stream whose first event time is huge (taxi epoch microseconds) must
+  // NOT sweep through millions of empty slides from zero.
+  const std::int64_t epoch_us = 1'400'000'000'000'000;
+  std::vector<WindowOutput> outputs;
+  PipelineDriver driver(small_window_config(),
+                        [&](const WindowOutput& o) { outputs.push_back(o); });
+  EXPECT_FALSE(driver.next_to_close().has_value());
+
+  for (int i = 0; i < 3000; ++i) {
+    driver.offer(Record{static_cast<sampling::StratumId>(i % 3),
+                        1.0 + i % 7, epoch_us + i * 1000});
+  }
+  ASSERT_TRUE(driver.next_to_close().has_value());
+  EXPECT_EQ(*driver.next_to_close(), epoch_us / 500'000);
+
+  driver.advance(epoch_us + 2'999'000);
+  driver.finish();
+  ASSERT_GE(outputs.size(), 1u);
+  // Window timestamps are absolute despite the cold start.
+  EXPECT_GE(outputs.front().estimate.window_end_us, epoch_us);
+}
+
+TEST(PipelineDriver, SequentialAdvanceClosesBehindWatermark) {
+  std::vector<WindowOutput> outputs;
+  PipelineDriver driver(small_window_config(),
+                        [&](const WindowOutput& o) { outputs.push_back(o); });
+  // The caller owns the watermark: a lagging partition keeps it low.
+  driver.offer(Record{1, 1.0, 10'000});  // lagging stratum, clock 10 ms
+  for (int i = 0; i < 2000; ++i) {
+    driver.offer(Record{0, 1.0, i * 1000});
+  }
+  // Watermark = min(10'000, 1'999'000): no slide end passed yet.
+  EXPECT_EQ(driver.advance(10'000), 0u);
+  for (int i = 0; i < 2000; ++i) {
+    driver.offer(Record{1, 1.0, i * 1000});
+  }
+  // Both clocks at 1'999'000: slides 0..2 close.
+  EXPECT_EQ(driver.advance(1'999'000), 3u);
+  driver.finish();
+  ASSERT_GE(outputs.size(), 3u);
+  std::uint64_t seen = 0;
+  for (const auto& output : outputs) seen = std::max(seen, output.records_seen);
+  EXPECT_GT(seen, 0u);
+}
+
+TEST(PipelineDriver, LateRecordsAreDroppedAfterClose) {
+  PipelineDriver driver(small_window_config(), [](const WindowOutput&) {});
+  for (int i = 0; i < 5000; ++i) {
+    driver.offer(Record{0, 1.0, i * 1000});
+    driver.offer(Record{1, 1.0, i * 1000});
+  }
+  ASSERT_GT(driver.advance(4'999'000), 0u);
+  // A record for slide 0 is now behind the watermark.
+  EXPECT_FALSE(driver.offer(Record{0, 1.0, 1000}));
+  EXPECT_TRUE(driver.offer(Record{0, 1.0, 4'999'000}));
+}
+
+TEST(PipelineDriver, CellsPathAssemblesWindows) {
+  auto config = small_window_config();
+  config.evaluate = false;
+  std::vector<engine::WindowResult> windows;
+  PipelineDriver driver(
+      std::move(config), nullptr,
+      [&](const engine::WindowResult& w) { windows.push_back(w); });
+
+  for (std::int64_t slide = 0; slide < 4; ++slide) {
+    estimation::StratumSummary cell;
+    cell.stratum = 0;
+    cell.seen = 100;
+    cell.sampled = 10;
+    cell.sum = 10.0;
+    cell.sum_sq = 10.0;
+    cell.weight = 10.0;
+    driver.close_slide_cells(slide, {cell});
+  }
+  // 2 slides per window -> windows end at slides 1, 2, 3.
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].window_end_us, 1'000'000);
+  EXPECT_EQ(windows[0].cells.size(), 2u);
+  EXPECT_EQ(windows[2].window_end_us, 2'000'000);
+}
+
+TEST(PipelineDriver, ExternalPathPadsGapsWithEmptySlides) {
+  auto config = small_window_config();
+  config.evaluate = false;
+  std::vector<engine::WindowResult> windows;
+  PipelineDriver driver(
+      std::move(config), nullptr,
+      [&](const engine::WindowResult& w) { windows.push_back(w); });
+
+  estimation::StratumSummary cell;
+  cell.stratum = 3;
+  cell.seen = 5;
+  cell.sampled = 5;
+  driver.close_slide_cells(10, {cell});
+  driver.close_slide_cells(14, {cell});  // slides 11..13 padded empty
+  ASSERT_EQ(windows.size(), 4u);         // ends at slides 11, 12, 13, 14
+  EXPECT_EQ(windows.front().window_end_us, 12 * 500'000);
+  EXPECT_TRUE(windows[1].cells.empty());  // slides 12+13 both empty
+  EXPECT_EQ(windows.back().cells.size(), 1u);
+}
+
+TEST(PipelineDriver, ExternalPathRejectsOutOfOrderSlides) {
+  auto config = small_window_config();
+  config.evaluate = false;
+  PipelineDriver driver(std::move(config), nullptr, nullptr);
+  driver.close_slide_cells(5, {});
+  EXPECT_THROW(driver.close_slide_cells(4, {}), std::logic_error);
+}
+
+TEST(PipelineDriver, SamplePathMatchesSequentialSeenCounts) {
+  // The same records through the driver-owned samplers and through an
+  // externally driven sampler must report identical per-window seen counts.
+  std::vector<Record> records;
+  for (int i = 0; i < 20000; ++i) {
+    records.push_back(Record{static_cast<sampling::StratumId>(i % 3),
+                             double(i % 11), i * 250});
+  }
+
+  std::vector<WindowOutput> sequential;
+  {
+    PipelineDriver driver(small_window_config(), [&](const WindowOutput& o) {
+      sequential.push_back(o);
+    });
+    for (const auto& r : records) driver.offer(r);
+    driver.advance(records.back().event_time_us);
+    driver.finish();
+  }
+
+  std::vector<WindowOutput> external;
+  {
+    PipelineDriver driver(small_window_config(), [&](const WindowOutput& o) {
+      external.push_back(o);
+    });
+    std::map<std::int64_t, PipelineDriver::Sampler> samplers;
+    for (const auto& r : records) {
+      const std::int64_t slide = r.event_time_us / 500'000;
+      auto it = samplers.find(slide);
+      if (it == samplers.end()) {
+        it = samplers
+                 .try_emplace(slide, driver.slide_sampler_config(slide),
+                              engine::RecordStratum{})
+                 .first;
+      }
+      it->second.offer(r);
+    }
+    for (auto& [slide, sampler] : samplers) {
+      driver.close_slide_sample(slide, sampler.take());
+    }
+  }
+
+  ASSERT_EQ(sequential.size(), external.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, external[i].records_seen);
+    EXPECT_EQ(sequential[i].estimate.window_end_us,
+              external[i].estimate.window_end_us);
+  }
+}
+
+TEST(PipelineDriver, FractionBudgetRetunesFromArrivals) {
+  auto config = small_window_config();
+  config.budget = estimation::QueryBudget::fraction(0.2);
+  PipelineDriver driver(std::move(config), [](const WindowOutput&) {});
+  const std::size_t before = driver.current_budget();
+  for (int i = 0; i < 50000; ++i) {
+    driver.offer(Record{static_cast<sampling::StratumId>(i % 3), 1.0,
+                        i * 100});
+  }
+  driver.advance(49'999 * 100);
+  driver.finish();
+  // 0.2 of ~5000 records/slide: the budget moved away from the initial
+  // guess toward the cost function's answer.
+  EXPECT_NE(driver.current_budget(), before);
+  EXPECT_GT(driver.current_budget(), 0u);
+}
+
+TEST(PipelineDriver, ShardedSamplerConfigSplitsBudget) {
+  PipelineDriver driver(small_window_config(), [](const WindowOutput&) {});
+  const auto whole = driver.slide_sampler_config(7);
+  const auto quarter = driver.slide_sampler_config(7, 1, 4);
+  EXPECT_EQ(whole.total_budget, driver.current_budget());
+  EXPECT_EQ(quarter.total_budget, driver.current_budget() / 4);
+  EXPECT_NE(whole.seed, quarter.seed);
+  // shard 0 of 1 reproduces the sequential seed derivation.
+  EXPECT_EQ(whole.seed, driver.slide_sampler_config(7, 0, 1).seed);
+}
+
+}  // namespace
+}  // namespace streamapprox::core
