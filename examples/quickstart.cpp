@@ -36,6 +36,12 @@ int main() {
   config.query = {core::Aggregation::kMean, /*per_stratum=*/false};
   config.budget = estimation::QueryBudget::fraction(0.20);
   config.window = {2'000'000, 1'000'000};
+  // Parallel sampling: 4 workers even though the topic has 3 partitions —
+  // the repartitioning exchange (on by default) re-keys partition batches by
+  // stratum hash, so worker count is independent of partition count. Tune
+  // the morsel size with config.exchange_batch_size, or set
+  // config.use_exchange = false to pin workers to partitions.
+  config.workers = 4;
 
   core::StreamApprox system(broker, config);
 

@@ -127,8 +127,15 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Producer side: enqueues unless the ring is full. Returns false when full.
-  bool try_push(T value) {
+  /// Producer side: enqueues unless the ring is full. Returns false when
+  /// full — and, being pass-by-value, destroys the element with it. Callers
+  /// that retry on a full ring must use try_push_keep.
+  bool try_push(T value) { return try_push_keep(value); }
+
+  /// Retry-friendly producer side: moves `value` into the ring only on
+  /// success; when the ring is full, returns false with `value` untouched so
+  /// the caller can back off and retry without losing it.
+  bool try_push_keep(T& value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == tail_.load(std::memory_order_acquire)) return false;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/record_batch.h"
 #include "estimation/estimators.h"
 
 namespace streamapprox::core {
@@ -91,6 +92,24 @@ bool PipelineDriver::offer(const engine::Record& record) {
   }
   sampler_for(slide).offer(record);
   return true;
+}
+
+std::size_t PipelineDriver::offer_batch(const engine::Record* records,
+                                        std::size_t count) {
+  std::size_t accepted = 0;
+  engine::for_each_slide_run(
+      records, count, config_.window.slide_us,
+      [&](std::int64_t slide, const engine::Record* run, std::size_t n) {
+        if (closed_any_) {
+          if (next_to_close_ && slide < *next_to_close_) return;  // late run
+        } else {
+          next_to_close_ =
+              next_to_close_ ? std::min(*next_to_close_, slide) : slide;
+        }
+        sampler_for(slide).offer_batch(run, n);
+        accepted += n;
+      });
+  return accepted;
 }
 
 std::size_t PipelineDriver::advance(std::int64_t watermark) {

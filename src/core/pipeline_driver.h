@@ -104,6 +104,17 @@ class PipelineDriver {
   /// true when the record was accepted.
   bool offer(const engine::Record& record);
 
+  /// Batched hot path: routes a whole batch with one slide lookup per run of
+  /// consecutive same-slide records (event-time-ordered input makes runs
+  /// long), dropping late records per the offer() rule. Returns the number
+  /// of records accepted.
+  std::size_t offer_batch(const engine::Record* records, std::size_t count);
+
+  /// Convenience overload over a whole vector.
+  std::size_t offer_batch(const std::vector<engine::Record>& records) {
+    return offer_batch(records.data(), records.size());
+  }
+
   /// Closes every slide whose end `watermark` has passed. The caller owns
   /// the watermark computation (per-partition clocks with exhausted and
   /// idle partitions excluded — see StreamApprox::run_sequential /

@@ -1,25 +1,38 @@
 // Sharded execution of the StreamApprox facade — the paper's central
-// "no synchronisation between workers" claim (§3.2, Algorithm 3) realised:
+// "no synchronisation between workers" claim (§3.2, Algorithm 3) realised
+// over a batched morsel data plane. Two ingest front-ends share one
+// watermark-gated merger:
 //
-//   consumer group   partitions split round-robin across N workers
-//   N workers        each samples its sub-streams with LOCAL per-slide
-//                    OASRS samplers; no lock is shared between two workers
-//                    on the sampling hot path (each worker's mutex exists
-//                    only to hand closed slides to the merger)
-//   merger           once the global low-watermark (the slowest partition's
-//                    high-water timestamp) passes a slide's end, extracts
+//   exchange mode    (default) one exchange stage polls every partition in
+//                    batches and re-keys them by stratum hash onto M
+//                    SPSC channels (ingest/exchange.h), so the worker count
+//                    is independent of the topic's partition count; each
+//                    batch carries the min-combined low-watermark, which
+//                    workers republish AFTER absorbing the batch;
+//   group mode       (use_exchange = false) a consumer group splits the
+//                    partitions across N workers, each polling its subset
+//                    directly; per-partition clocks drive the watermark.
+//
+// In both modes every worker samples with LOCAL per-slide OASRS samplers —
+// no lock is shared between two workers on the sampling hot path (each
+// worker's mutex exists only to hand closed slides to the merger) — and all
+// ingest is batch-at-a-time: one mutex acquisition and one slide-map lookup
+// per run of same-slide records, never a per-record offer() loop.
+//
+//   merger           once the low-watermark passes a slide's end, extracts
 //                    that slide's sampler from every worker, concatenates
 //                    them with OasrsSampler::merge(), and closes the slide
 //                    through the shared PipelineDriver — estimator inputs
 //                    identical to the sequential path modulo stratum order,
-//                    because the broker routes each stratum to exactly one
-//                    partition and therefore to exactly one worker.
+//                    because routing (broker partitioning or exchange
+//                    stratum hash) sends each stratum to exactly one worker.
 //
 // The adaptive feedback loop still works: the merger re-tunes the driver's
 // budget as windows complete, and workers read the atomic budget when they
 // open samplers for new slides.
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -31,7 +44,9 @@
 #include "common/thread_pool.h"
 #include "core/stream_approx.h"
 #include "core/watermark.h"
+#include "engine/record_batch.h"
 #include "ingest/broker.h"
+#include "ingest/exchange.h"
 
 namespace streamapprox::core {
 namespace {
@@ -55,107 +70,68 @@ void atomic_min(std::atomic<std::int64_t>& target, std::int64_t value) {
   }
 }
 
-}  // namespace
-
-void StreamApprox::run_sharded(
-    const std::function<void(const WindowOutput&)>& on_window) {
-  auto& topic = broker_.topic(config_.topic);
-  const std::size_t partitions = topic.partition_count();
-  const std::size_t workers = std::min(config_.workers, partitions);
-  const std::int64_t slide_us = config_.window.slide_us;
-
-  PipelineDriver driver(driver_config(), on_window);
-  slide_budget_ = driver.current_budget();
-
-  // The consumer group owns the partition split; each worker thread drives
-  // exactly one member (no offset state is shared between threads).
-  ingest::ConsumerGroup group(broker_, config_.topic, workers);
-
-  std::vector<Shard> shards(workers);
-  // Per-partition high-water event-time clocks: kNoClock until the
-  // partition's first record, kPartitionDrained once sealed and drained
-  // (the shared low-watermark policy of core/watermark.h).
-  std::vector<std::atomic<std::int64_t>> clocks(partitions);
-  for (auto& clock : clocks) clock.store(kNoClock, std::memory_order_relaxed);
-  // The earliest slide observed anywhere (the cold-start base slide).
+/// Everything the ingest front-ends and the merger share.
+struct ShardedPlan {
+  PipelineDriver& driver;
+  std::vector<Shard>& shards;
+  std::size_t workers;
+  std::int64_t slide_us;
+  /// The earliest slide observed anywhere (the cold-start base slide).
   std::atomic<std::int64_t> first_slide{kNoSlide};
-  // Slides below this are closed; workers drop records for them as late.
+  /// Slides below this are closed; workers drop records for them as late.
   std::atomic<std::int64_t> closed_through{
       std::numeric_limits<std::int64_t>::min()};
   std::atomic<std::size_t> workers_done{0};
 
-  ThreadPool pool(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&, w] {
-      ingest::Consumer& consumer = group.member(w);
-      const auto& assignment = consumer.assignment();
-      auto& shard = shards[w];
-      std::vector<std::int64_t> batch_clock(partitions, kNoClock);
-      // Volatile-sunk at exit so the parse-work model survives optimisation.
-      double ingest_acc = 0.0;
-      for (;;) {
-        auto records = consumer.poll(config_.poll_batch, /*timeout_ms=*/50);
-        if (!records.empty()) {
-          for (const std::size_t p : assignment) batch_clock[p] = kNoClock;
-          {
-            std::lock_guard lock(shard.mutex);
-            const std::int64_t frozen =
-                closed_through.load(std::memory_order_acquire);
-            for (const auto& record : records) {
-              ingest_acc += config_.ingest_cost.charge(record.value);
-              const std::int64_t slide = record.event_time_us / slide_us;
-              if (slide < frozen) continue;  // late beyond merged watermark
-              auto it = shard.slides.find(slide);
-              if (it == shard.slides.end()) {
-                it = shard.slides
-                         .try_emplace(slide,
-                                      driver.slide_sampler_config(slide, w,
-                                                                  workers),
-                                      engine::RecordStratum{})
-                         .first;
-                atomic_min(first_slide, slide);
-              }
-              it->second.offer(record);
-              const std::size_t p = topic.partition_for_key(record.stratum);
-              batch_clock[p] = std::max(batch_clock[p], record.event_time_us);
-            }
-          }
-          // Publish clocks after the samplers absorbed the batch, so the
-          // merger can never observe a watermark ahead of the samples.
-          for (const std::size_t p : assignment) {
-            if (batch_clock[p] == kNoClock) continue;
-            const std::int64_t previous =
-                clocks[p].load(std::memory_order_relaxed);
-            if (batch_clock[p] > previous) {
-              clocks[p].store(batch_clock[p], std::memory_order_release);
-            }
-          }
-        }
-        // Partitions drained to a sealed end stop gating the watermark, so
-        // an idle partition cannot stall every window behind it.
-        for (std::size_t slot = 0; slot < assignment.size(); ++slot) {
-          if (consumer.partition_exhausted(slot)) {
-            clocks[assignment[slot]].store(kPartitionDrained,
-                                           std::memory_order_release);
-          }
-        }
-        if (records.empty() && consumer.exhausted()) break;
-      }
-      volatile double ingest_sink = ingest_acc;
-      (void)ingest_sink;
-      workers_done.fetch_add(1, std::memory_order_release);
-    });
-  }
+  ShardedPlan(PipelineDriver& driver, std::vector<Shard>& shards,
+              std::size_t workers, std::int64_t slide_us)
+      : driver(driver), shards(shards), workers(workers), slide_us(slide_us) {}
+};
 
-  // ---- Merger: watermark-gated slide closing in the calling thread.
+/// Routes one batch into worker `w`'s local per-slide samplers: one mutex
+/// acquisition per batch, one slide-map lookup per run of consecutive
+/// same-slide records, one OASRS offer_batch per run.
+void absorb_batch(ShardedPlan& plan, std::size_t w,
+                  const engine::Record* records, std::size_t count) {
+  Shard& shard = plan.shards[w];
+  std::lock_guard lock(shard.mutex);
+  const std::int64_t frozen =
+      plan.closed_through.load(std::memory_order_acquire);
+  engine::for_each_slide_run(
+      records, count, plan.slide_us,
+      [&](std::int64_t slide, const engine::Record* run, std::size_t n) {
+        if (slide < frozen) return;  // late beyond merged watermark
+        auto it = shard.slides.find(slide);
+        if (it == shard.slides.end()) {
+          it = shard.slides
+                   .try_emplace(slide,
+                                plan.driver.slide_sampler_config(
+                                    slide, w, plan.workers),
+                                engine::RecordStratum{})
+                   .first;
+          atomic_min(plan.first_slide, slide);
+        }
+        it->second.offer_batch(run, n);
+      });
+}
+
+/// The merger: watermark-gated slide closing, run in the calling thread
+/// until every worker finished. `clocks` are per-partition high-water clocks
+/// in group mode and per-worker republished watermarks in exchange mode;
+/// `apply_idle_grace` is false in exchange mode because the exchange already
+/// resolved the idleness policy into the values it forwarded.
+void merge_until_done(ShardedPlan& plan,
+                      std::vector<std::atomic<std::int64_t>>& clocks,
+                      bool apply_idle_grace, std::int64_t idle_timeout_ms,
+                      const std::function<void()>& after_close) {
   const auto close_one = [&](std::int64_t slide) {
     // Freeze the slide first: a racing worker either got its records in
     // before extraction (they are merged) or sees the fence and drops them
     // as late — exactly the sequential path's late-record rule.
-    closed_through.store(slide + 1, std::memory_order_release);
-    PipelineDriver::Sampler merged(driver.slide_sampler_config(slide),
+    plan.closed_through.store(slide + 1, std::memory_order_release);
+    PipelineDriver::Sampler merged(plan.driver.slide_sampler_config(slide),
                                    engine::RecordStratum{});
-    for (auto& shard : shards) {
+    for (auto& shard : plan.shards) {
       std::map<std::int64_t, PipelineDriver::Sampler>::node_type node;
       {
         std::lock_guard lock(shard.mutex);
@@ -171,25 +147,25 @@ void StreamApprox::run_sharded(
       }
       if (node) merged.merge(node.mapped());
     }
-    driver.close_slide_sample(slide, merged.take());
-    slide_budget_ = driver.current_budget();
+    plan.driver.close_slide_sample(slide, merged.take());
+    after_close();
   };
 
   std::optional<std::int64_t> next;
   bool any_closed = false;
   Stopwatch idle_watch;
-  std::vector<std::int64_t> clock_snapshot(partitions);
+  std::vector<std::int64_t> clock_snapshot(clocks.size());
   for (;;) {
     const bool all_done =
-        workers_done.load(std::memory_order_acquire) == workers;
+        plan.workers_done.load(std::memory_order_acquire) == plan.workers;
     const bool grace_over =
-        idle_watch.millis() > static_cast<double>(
-                                  config_.idle_partition_timeout_ms);
-    for (std::size_t p = 0; p < partitions; ++p) {
-      clock_snapshot[p] = clocks[p].load(std::memory_order_acquire);
+        apply_idle_grace &&
+        idle_watch.millis() > static_cast<double>(idle_timeout_ms);
+    for (std::size_t c = 0; c < clocks.size(); ++c) {
+      clock_snapshot[c] = clocks[c].load(std::memory_order_acquire);
     }
     const auto view = evaluate_watermark(clock_snapshot, grace_over);
-    const std::int64_t lo = first_slide.load(std::memory_order_acquire);
+    const std::int64_t lo = plan.first_slide.load(std::memory_order_acquire);
     bool progressed = false;
     if (lo != kNoSlide && !view.blocked) {
       if (!next) {
@@ -202,10 +178,10 @@ void StreamApprox::run_sharded(
       for (;;) {
         bool ripe = false;
         if (view.flush_all()) {
-          // No partition gates (drained and/or idle past grace): flush
-          // through the last open slide so output is never stranded.
+          // No source gates (drained and/or idle past grace): flush through
+          // the last open slide so output is never stranded.
           std::int64_t hi = std::numeric_limits<std::int64_t>::min();
-          for (auto& shard : shards) {
+          for (auto& shard : plan.shards) {
             std::lock_guard lock(shard.mutex);
             if (!shard.slides.empty()) {
               hi = std::max(hi, shard.slides.rbegin()->first);
@@ -213,7 +189,7 @@ void StreamApprox::run_sharded(
           }
           ripe = hi != std::numeric_limits<std::int64_t>::min() && *next <= hi;
         } else {
-          ripe = (*next + 1) * slide_us <= view.watermark;
+          ripe = (*next + 1) * plan.slide_us <= view.watermark;
         }
         if (!ripe) break;
         close_one(*next);
@@ -226,6 +202,140 @@ void StreamApprox::run_sharded(
     if (!progressed) {
       std::this_thread::sleep_for(std::chrono::microseconds(500));
     }
+  }
+}
+
+}  // namespace
+
+void StreamApprox::run_sharded(
+    const std::function<void(const WindowOutput&)>& on_window) {
+  auto& topic = broker_.topic(config_.topic);
+  const std::size_t partitions = topic.partition_count();
+  const bool use_exchange = config_.use_exchange;
+  // Without the exchange, parallelism is capped by the partition split.
+  const std::size_t workers =
+      use_exchange ? config_.workers : std::min(config_.workers, partitions);
+  const std::int64_t slide_us = config_.window.slide_us;
+
+  PipelineDriver driver(driver_config(), on_window);
+  slide_budget_ = driver.current_budget();
+
+  std::vector<Shard> shards(workers);
+  ShardedPlan plan(driver, shards, workers, slide_us);
+  const auto after_close = [&] { slide_budget_ = driver.current_budget(); };
+
+  if (use_exchange) {
+    // ---- Exchange mode: repartitioned batches, forwarded watermarks.
+    ingest::ExchangeConfig exchange_config;
+    exchange_config.workers = workers;
+    exchange_config.batch_size = config_.exchange_batch_size;
+    exchange_config.ring_capacity = config_.exchange_ring_capacity;
+    exchange_config.idle_partition_timeout_ms =
+        config_.idle_partition_timeout_ms;
+    ingest::Exchange exchange(broker_, config_.topic, exchange_config);
+
+    // Per-worker republished watermarks: a worker stores the watermark of a
+    // batch only after absorbing it, so the merger's min over workers can
+    // never run ahead of the samples.
+    std::vector<std::atomic<std::int64_t>> clocks(workers);
+    for (auto& clock : clocks) {
+      clock.store(kNoClock, std::memory_order_relaxed);
+    }
+
+    ThreadPool pool(workers + 1);
+    pool.submit([&] { exchange.run(); });
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.submit([&, w] {
+        // Volatile-sunk at exit so the parse-work model survives
+        // optimisation.
+        double ingest_acc = 0.0;
+        for (;;) {
+          auto batch = exchange.pop(w);
+          if (!batch) {
+            if (exchange.drained(w)) break;
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            continue;
+          }
+          for (const auto& record : batch->records) {
+            ingest_acc += config_.ingest_cost.charge(record.value);
+          }
+          if (!batch->empty()) {
+            absorb_batch(plan, w, batch->records.data(), batch->size());
+          }
+          // Publish the batch's watermark after the samplers absorbed it.
+          clocks[w].store(batch->watermark_us, std::memory_order_release);
+          exchange.recycle(std::move(batch));
+        }
+        volatile double ingest_sink = ingest_acc;
+        (void)ingest_sink;
+        plan.workers_done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    // The exchange resolved the idleness policy already; the merger applies
+    // the forwarded values verbatim.
+    merge_until_done(plan, clocks, /*apply_idle_grace=*/false,
+                     config_.idle_partition_timeout_ms, after_close);
+  } else {
+    // ---- Group mode: the consumer group owns the partition split; each
+    // worker thread drives exactly one member (no offset state is shared
+    // between threads).
+    ingest::ConsumerGroup group(broker_, config_.topic, workers);
+    // Per-partition high-water event-time clocks: kNoClock until the
+    // partition's first record, kPartitionDrained once sealed and drained
+    // (the shared low-watermark policy of core/watermark.h).
+    std::vector<std::atomic<std::int64_t>> clocks(partitions);
+    for (auto& clock : clocks) {
+      clock.store(kNoClock, std::memory_order_relaxed);
+    }
+
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.submit([&, w] {
+        ingest::Consumer& consumer = group.member(w);
+        const auto& assignment = consumer.assignment();
+        std::vector<std::int64_t> batch_clock(partitions, kNoClock);
+        // Reused poll buffer: steady-state polling is allocation-free.
+        std::vector<engine::Record> records;
+        records.reserve(config_.poll_batch);
+        double ingest_acc = 0.0;
+        for (;;) {
+          consumer.poll(records, config_.poll_batch, /*timeout_ms=*/50);
+          if (!records.empty()) {
+            for (const std::size_t p : assignment) batch_clock[p] = kNoClock;
+            for (const auto& record : records) {
+              ingest_acc += config_.ingest_cost.charge(record.value);
+              const std::size_t p = topic.partition_for_key(record.stratum);
+              batch_clock[p] = std::max(batch_clock[p], record.event_time_us);
+            }
+            absorb_batch(plan, w, records.data(), records.size());
+            // Publish clocks after the samplers absorbed the batch, so the
+            // merger can never observe a watermark ahead of the samples.
+            for (const std::size_t p : assignment) {
+              if (batch_clock[p] == kNoClock) continue;
+              const std::int64_t previous =
+                  clocks[p].load(std::memory_order_relaxed);
+              if (batch_clock[p] > previous) {
+                clocks[p].store(batch_clock[p], std::memory_order_release);
+              }
+            }
+          }
+          // Partitions drained to a sealed end stop gating the watermark,
+          // so an idle partition cannot stall every window behind it.
+          for (std::size_t slot = 0; slot < assignment.size(); ++slot) {
+            if (consumer.partition_exhausted(slot)) {
+              clocks[assignment[slot]].store(kPartitionDrained,
+                                             std::memory_order_release);
+            }
+          }
+          if (records.empty() && consumer.exhausted()) break;
+        }
+        volatile double ingest_sink = ingest_acc;
+        (void)ingest_sink;
+        plan.workers_done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    merge_until_done(plan, clocks, /*apply_idle_grace=*/true,
+                     config_.idle_partition_timeout_ms, after_close);
   }
 
   driver.finish();  // no-op safeguard: external mode leaves nothing open

@@ -31,8 +31,11 @@ PipelineDriverConfig StreamApprox::driver_config() const {
 
 void StreamApprox::run(
     const std::function<void(const WindowOutput&)>& on_window) {
+  // The exchange decouples workers from partitions, so any workers > 1 can
+  // shard; without it, sharding needs at least two partitions to split.
   if (config_.workers > 1 &&
-      broker_.topic(config_.topic).partition_count() > 1) {
+      (config_.use_exchange ||
+       broker_.topic(config_.topic).partition_count() > 1)) {
     run_sharded(on_window);
   } else {
     run_sequential(on_window);
@@ -56,14 +59,17 @@ void StreamApprox::run_sequential(
   // The ingest-work accumulator feeds a volatile sink so the parse-work
   // model cannot be dead-code-eliminated.
   double ingest_acc = 0.0;
+  // Reused poll buffer: steady-state polling is allocation-free.
+  std::vector<engine::Record> records;
+  records.reserve(config_.poll_batch);
   for (;;) {
-    auto records = consumer.poll(config_.poll_batch, /*timeout_ms=*/50);
+    consumer.poll(records, config_.poll_batch, /*timeout_ms=*/50);
     for (const auto& record : records) {
       ingest_acc += config_.ingest_cost.charge(record.value);  // parse work
-      driver.offer(record);
       auto& clock = clocks[topic.partition_for_key(record.stratum)];
       clock = std::max(clock, record.event_time_us);
     }
+    driver.offer_batch(records);
     for (std::size_t slot = 0; slot < consumer.assignment().size(); ++slot) {
       if (consumer.partition_exhausted(slot)) {
         clocks[consumer.assignment()[slot]] = kPartitionDrained;

@@ -58,8 +58,21 @@ struct StreamApproxConfig {
   /// parallelises.
   engine::QueryCost ingest_cost{};
   /// Worker threads for the sharded execution mode. 1 (or 0) = sequential.
-  /// Effective parallelism is capped at the topic's partition count.
+  /// With the exchange enabled (the default) the worker count is
+  /// independent of the topic's partition count; with it disabled, workers
+  /// consume partitions directly and parallelism is capped at the
+  /// partition count.
   std::size_t workers = 1;
+  /// Repartitioning exchange (sharded mode only): when true, one exchange
+  /// stage polls every partition in batches and re-keys them by stratum
+  /// hash onto `workers` SPSC channels — decoupling worker count from
+  /// partition count and moving data between threads batch-at-a-time. When
+  /// false, the consumer-group mode splits partitions across workers.
+  bool use_exchange = true;
+  /// Records per exchange batch (the morsel size of the batched data plane).
+  std::size_t exchange_batch_size = 1024;
+  /// Batches buffered per exchange channel before backpressure.
+  std::size_t exchange_ring_capacity = 64;
   /// Grace period after which a partition that has NEVER delivered a record
   /// stops gating the watermark (Kafka's idleness rule), so a topic with
   /// more partitions than sub-streams still emits windows on a live,

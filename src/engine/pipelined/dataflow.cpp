@@ -23,7 +23,10 @@ void spin_push(streamapprox::SpscRing<Record>& ring, const Record& record) {
 }
 
 void spin_push(streamapprox::SpscRing<SlideMsg>& ring, SlideMsg msg) {
-  while (!ring.try_push(std::move(msg))) std::this_thread::yield();
+  // try_push_keep: a failed push on a full ring must not consume the
+  // message (try_push's by-value parameter would destroy the slide's cells
+  // on the first failed attempt and retry with an empty message).
+  while (!ring.try_push_keep(msg)) std::this_thread::yield();
 }
 
 }  // namespace

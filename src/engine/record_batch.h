@@ -1,0 +1,136 @@
+// The morsel of the batched data plane: a reusable vector of records plus
+// the transport metadata the repartitioning exchange forwards alongside the
+// data (source partition, low-watermark). Batches are recycled through a
+// BatchPool so steady-state polling and exchange hops allocate nothing
+// (morsel-driven execution, Leis et al. SIGMOD'14 — batch-at-a-time transfer
+// between operators instead of one virtual call per record).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/record.h"
+
+namespace streamapprox::engine {
+
+/// Watermark sentinel: no watermark has been established yet. Numerically
+/// identical to core::kNoClock so the two layers compose without mapping.
+inline constexpr std::int64_t kNoWatermark =
+    std::numeric_limits<std::int64_t>::min();
+/// Watermark sentinel: every upstream source is drained or idle past grace —
+/// the receiver may flush everything it buffers. Numerically identical to
+/// core::kPartitionDrained.
+inline constexpr std::int64_t kWatermarkFlush =
+    std::numeric_limits<std::int64_t>::max();
+
+/// One batch of records moving between data-plane stages.
+struct RecordBatch {
+  /// Sentinel for `source_partition`: records from several partitions.
+  static constexpr std::size_t kMixedSources =
+      std::numeric_limits<std::size_t>::max();
+
+  std::vector<Record> records;
+  /// The partition every record came from, when the batch was filled from
+  /// exactly one partition; kMixedSources otherwise.
+  std::size_t source_partition = kMixedSources;
+  /// Low-watermark travelling with the batch (min-combined over the source
+  /// partitions by the exchange): every record at or below it that will ever
+  /// be forwarded to this receiver has already been forwarded. kNoWatermark
+  /// until a producer stamps it; kWatermarkFlush when no source gates.
+  std::int64_t watermark_us = kNoWatermark;
+
+  std::size_t size() const noexcept { return records.size(); }
+  bool empty() const noexcept { return records.empty(); }
+
+  /// Clears data and metadata, keeping the records' capacity — the whole
+  /// point of pooling.
+  void reset() noexcept {
+    records.clear();
+    source_partition = kMixedSources;
+    watermark_us = kNoWatermark;
+  }
+};
+
+/// Calls `fn(slide, run, count)` for every run of consecutive records in
+/// [records, records + count) mapping to the same slide index
+/// (event_time_us / slide_us). This is the ONE run segmentation every
+/// batched ingest hot path uses — the sequential driver and the sharded
+/// workers apply their late-drop rules to identical runs, which the
+/// parallel-equivalence guarantee depends on.
+template <typename Fn>
+void for_each_slide_run(const Record* records, std::size_t count,
+                        std::int64_t slide_us, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < count) {
+    const std::int64_t slide = records[i].event_time_us / slide_us;
+    std::size_t end = i + 1;
+    while (end < count && records[end].event_time_us / slide_us == slide) {
+      ++end;
+    }
+    fn(slide, records + i, end - i);
+    i = end;
+  }
+}
+
+/// Thread-safe free list of RecordBatches. acquire() pops a recycled batch
+/// (or allocates one on a cold start); release() resets and returns it. The
+/// pool must outlive every batch it handed out.
+class BatchPool {
+ public:
+  /// `reserve_records` is the capacity hint newly allocated batches reserve,
+  /// so the first fill of a fresh batch does not reallocate either.
+  explicit BatchPool(std::size_t reserve_records = 1024)
+      : reserve_records_(reserve_records) {}
+
+  BatchPool(const BatchPool&) = delete;
+  BatchPool& operator=(const BatchPool&) = delete;
+
+  /// Returns an empty batch, recycled when possible.
+  std::unique_ptr<RecordBatch> acquire() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        auto batch = std::move(free_.back());
+        free_.pop_back();
+        return batch;
+      }
+      ++allocated_;
+    }
+    auto batch = std::make_unique<RecordBatch>();
+    batch->records.reserve(reserve_records_);
+    return batch;
+  }
+
+  /// Resets `batch` and returns it to the free list. Null is ignored.
+  void release(std::unique_ptr<RecordBatch> batch) {
+    if (!batch) return;
+    batch->reset();
+    std::lock_guard lock(mutex_);
+    free_.push_back(std::move(batch));
+  }
+
+  /// Batches allocated over the pool's lifetime (== the high-water mark of
+  /// batches simultaneously outside the pool; steady state stops growing).
+  std::size_t allocated() const {
+    std::lock_guard lock(mutex_);
+    return allocated_;
+  }
+
+  /// Batches currently parked in the free list.
+  std::size_t pooled() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  const std::size_t reserve_records_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<RecordBatch>> free_;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace streamapprox::engine

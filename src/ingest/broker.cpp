@@ -158,9 +158,16 @@ Consumer::Consumer(Broker& broker, const std::string& topic,
 std::vector<engine::Record> Consumer::poll(std::size_t max_records,
                                            std::int64_t timeout_ms) {
   std::vector<engine::Record> out;
-  const std::size_t slots = assignment_.size();
-  if (slots == 0) return out;
   out.reserve(std::min<std::size_t>(max_records, 4096));
+  poll(out, max_records, timeout_ms);
+  return out;
+}
+
+std::size_t Consumer::poll(std::vector<engine::Record>& out,
+                           std::size_t max_records, std::int64_t timeout_ms) {
+  out.clear();
+  const std::size_t slots = assignment_.size();
+  if (slots == 0) return 0;
 
   // First try non-blocking round-robin over the assigned partitions.
   for (std::size_t i = 0; i < slots && out.size() < max_records; ++i) {
@@ -176,7 +183,16 @@ std::vector<engine::Record> Consumer::poll(std::size_t max_records,
   }
   next_slot_ = (next_slot_ + 1) % slots;
   consumed_ += out.size();
-  return out;
+  return out.size();
+}
+
+std::size_t Consumer::poll(engine::RecordBatch& out, std::size_t max_records,
+                           std::int64_t timeout_ms) {
+  out.reset();
+  out.source_partition = assignment_.size() == 1
+                             ? assignment_.front()
+                             : engine::RecordBatch::kMixedSources;
+  return poll(out.records, max_records, timeout_ms);
 }
 
 bool Consumer::partition_exhausted(std::size_t slot) const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/record.h"
+#include "engine/record_batch.h"
 
 namespace streamapprox::ingest {
 
@@ -37,11 +38,26 @@ class PartitionLog {
   Offset read(Offset from, std::size_t max_records,
               std::vector<engine::Record>& out) const;
 
+  /// Batch-out overload: appends into a caller-owned batch under one lock
+  /// acquisition — the data plane's allocation-free fill path. Metadata
+  /// (source_partition, watermark) is the caller's to stamp.
+  Offset read(Offset from, std::size_t max_records,
+              engine::RecordBatch& out) const {
+    return read(from, max_records, out.records);
+  }
+
   /// Blocks until data is available at `from`, the timeout elapses, or the
   /// log is sealed. Returns next offset (== from when nothing arrived).
   Offset read_blocking(Offset from, std::size_t max_records,
                        std::vector<engine::Record>& out,
                        std::int64_t timeout_ms) const;
+
+  /// Batch-out overload of read_blocking.
+  Offset read_blocking(Offset from, std::size_t max_records,
+                       engine::RecordBatch& out,
+                       std::int64_t timeout_ms) const {
+    return read_blocking(from, max_records, out.records, timeout_ms);
+  }
 
   /// End offset (== number of records appended).
   Offset end_offset() const;
@@ -154,9 +170,23 @@ class Consumer {
   /// Polls up to `max_records` records across the assigned partitions,
   /// blocking up to `timeout_ms` for the first record. Returns the records
   /// fetched (empty when the assignment is exhausted and sealed, or the
-  /// timeout expired).
+  /// timeout expired). Allocates a fresh vector per call; the live paths use
+  /// the reuse-buffer overload below.
   std::vector<engine::Record> poll(std::size_t max_records,
                                    std::int64_t timeout_ms = 100);
+
+  /// Reuse-buffer overload: clears `out` (keeping its capacity) and fills it
+  /// in place, so steady-state polling is allocation-free. Returns the
+  /// number of records fetched.
+  std::size_t poll(std::vector<engine::Record>& out, std::size_t max_records,
+                   std::int64_t timeout_ms = 100);
+
+  /// Batch-out overload: fills a caller-owned batch and stamps its
+  /// source_partition (the partition index when the assignment has exactly
+  /// one partition, RecordBatch::kMixedSources otherwise). The watermark is
+  /// left for the transport layer to stamp. Returns the records fetched.
+  std::size_t poll(engine::RecordBatch& out, std::size_t max_records,
+                   std::int64_t timeout_ms = 100);
 
   /// True when every assigned partition is sealed and fully consumed.
   bool exhausted() const;

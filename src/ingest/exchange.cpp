@@ -1,0 +1,126 @@
+#include "ingest/exchange.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+#include "core/watermark.h"
+
+namespace streamapprox::ingest {
+
+Exchange::Exchange(Broker& broker, const std::string& topic,
+                   ExchangeConfig config)
+    : config_(config), pool_(std::max<std::size_t>(1, config.batch_size)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  const std::size_t partitions = broker.topic(topic).partition_count();
+  inputs_.reserve(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    inputs_.emplace_back(broker, topic, std::vector<std::size_t>{p});
+  }
+  rings_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    rings_.push_back(std::make_unique<SpscRing<BatchPtr>>(
+        std::max<std::size_t>(2, config_.ring_capacity)));
+  }
+}
+
+void Exchange::push_channel(std::size_t w, BatchPtr batch) {
+  // Ring full means the downstream worker is behind: backpressure by
+  // waiting. try_push_keep leaves the batch intact on failure.
+  while (!rings_[w]->try_push_keep(batch)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void Exchange::run() {
+  const std::size_t partitions = inputs_.size();
+  const std::size_t workers = config_.workers;
+
+  // Per-partition high-water clocks (exchange-thread local: the exchange is
+  // the only gate keeper; receivers see only resolved watermarks).
+  std::vector<std::int64_t> clocks(partitions, core::kNoClock);
+  std::vector<std::int64_t> round_clock(partitions);
+  std::vector<BatchPtr> out(workers);
+  // The last watermark each channel was told, so heartbeats only go to
+  // channels that would otherwise fall behind.
+  std::vector<std::int64_t> last_sent(workers, engine::kNoWatermark);
+  // One pooled batch reused as the input fill target: each poll is a single
+  // lock acquisition into recycled storage.
+  BatchPtr scratch = pool_.acquire();
+  Stopwatch grace;
+
+  for (;;) {
+    bool any_data = false;
+    std::fill(round_clock.begin(), round_clock.end(), core::kNoClock);
+    for (std::size_t p = 0; p < partitions; ++p) {
+      if (inputs_[p].exhausted()) continue;
+      inputs_[p].poll(*scratch, config_.batch_size, /*timeout_ms=*/0);
+      if (scratch->empty()) continue;
+      any_data = true;
+      for (const auto& record : scratch->records) {
+        const std::size_t w = route(record.stratum, workers);
+        if (!out[w]) out[w] = pool_.acquire();
+        out[w]->records.push_back(record);
+        round_clock[p] = std::max(round_clock[p], record.event_time_us);
+      }
+    }
+
+    bool all_drained = true;
+    for (std::size_t p = 0; p < partitions; ++p) {
+      if (round_clock[p] != core::kNoClock) {
+        clocks[p] = std::max(clocks[p], round_clock[p]);
+      }
+      if (inputs_[p].exhausted()) {
+        clocks[p] = core::kPartitionDrained;
+      } else {
+        all_drained = false;
+      }
+    }
+
+    // Resolve the policy-complete watermark. The clocks only cover records
+    // already routed into this round's output batches, and those batches are
+    // handed to their FIFO channels below before any receiver can observe
+    // the value — so absorbing a batch stamped W implies every record below
+    // W bound for that channel has been absorbed or is in the same batch.
+    const bool grace_over =
+        grace.millis() >
+        static_cast<double>(config_.idle_partition_timeout_ms);
+    const auto view = core::evaluate_watermark(clocks, grace_over);
+    const std::int64_t resolved = view.blocked ? engine::kNoWatermark
+                                  : view.flush_all() ? engine::kWatermarkFlush
+                                                     : view.watermark;
+
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (out[w] && !out[w]->empty()) {
+        out[w]->watermark_us = resolved;
+        records_routed_.fetch_add(out[w]->size(), std::memory_order_relaxed);
+        batches_emitted_.fetch_add(1, std::memory_order_relaxed);
+        push_channel(w, std::move(out[w]));
+        last_sent[w] = resolved;
+      } else if (last_sent[w] != resolved) {
+        // Watermark-only heartbeat: a channel with no data in flight must
+        // still learn the watermark or its worker would gate the merger
+        // forever (and the end-of-stream flush would never reach it).
+        auto heartbeat = pool_.acquire();
+        heartbeat->watermark_us = resolved;
+        heartbeats_emitted_.fetch_add(1, std::memory_order_relaxed);
+        push_channel(w, std::move(heartbeat));
+        last_sent[w] = resolved;
+      }
+    }
+
+    if (all_drained) break;
+    if (!any_data) {
+      // Nothing anywhere this round: doze briefly instead of spinning over
+      // the partition mutexes.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  pool_.release(std::move(scratch));
+  for (auto& ring : rings_) ring->close();
+}
+
+}  // namespace streamapprox::ingest

@@ -1,0 +1,122 @@
+// The repartitioning exchange stage of the batched data plane: one operator
+// that consumes record batches from every partition of a topic and re-keys
+// them by stratum hash onto M single-producer/single-consumer channels, so
+// the number of downstream workers is decoupled from the topic's partition
+// count (a 2-partition topic can feed 8 workers). This is the exchange
+// operator of morsel-driven engines (Leis et al., SIGMOD'14) applied to the
+// paper's Kafka deployment: batches, not records, cross thread boundaries.
+//
+// Watermark transport. The exchange owns the per-partition high-water clocks
+// and the idle-partition grace policy of core/watermark.h, min-combines them
+// into one resolved low-watermark per round, and forwards it downstream
+// embedded in every batch (plus watermark-only heartbeat batches when it
+// changes with no data in flight). Clocks advance only AFTER the records
+// they cover have been handed to the channels, and channels are FIFO, so a
+// receiver that has absorbed a batch stamped with watermark W has absorbed
+// every record below W that will ever reach it — the low-watermark guarantee
+// survives repartitioning. Because the resolved value is policy-complete
+// (kNoWatermark while a silent partition is within grace, kWatermarkFlush
+// when nothing gates), receivers apply no grace logic of their own.
+//
+// Stratum affinity. route() is deterministic in the stratum, so every record
+// of one sub-stream reaches the same channel — per-stratum reservoirs stay
+// local to one worker and OasrsSampler::merge() remains pure concatenation,
+// preserving the paper's no-synchronisation sampling claim (§3.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/queue.h"
+#include "engine/record_batch.h"
+#include "ingest/broker.h"
+
+namespace streamapprox::ingest {
+
+/// Exchange tuning knobs.
+struct ExchangeConfig {
+  /// Number of output channels (downstream workers). >= 1.
+  std::size_t workers = 1;
+  /// Records per emitted batch (the morsel size) and per input poll.
+  std::size_t batch_size = 1024;
+  /// Batches buffered per output channel before the exchange backpressures.
+  std::size_t ring_capacity = 64;
+  /// Grace period for partitions that never delivered (core/watermark.h).
+  std::int64_t idle_partition_timeout_ms = 1000;
+};
+
+/// Repartitions a topic's partition batches onto worker channels by stratum
+/// hash, forwarding the min-combined low-watermark. run() is driven by ONE
+/// thread; each output channel is consumed by exactly one worker thread
+/// (SPSC discipline at both ends of every ring).
+class Exchange {
+ public:
+  using BatchPtr = std::unique_ptr<engine::RecordBatch>;
+
+  Exchange(Broker& broker, const std::string& topic, ExchangeConfig config);
+
+  /// The repartition loop: polls every partition, routes, forwards
+  /// watermarks, and returns once every partition is exhausted (sealed and
+  /// fully read) and every channel is closed. Call from a dedicated thread.
+  void run();
+
+  /// Pops the next batch of channel `w` (null when none is ready). The
+  /// caller owns the batch until it hands it back via recycle().
+  BatchPtr pop(std::size_t w) {
+    auto batch = rings_[w]->try_pop();
+    return batch ? std::move(*batch) : nullptr;
+  }
+
+  /// True when channel `w` is closed and fully consumed (end of stream).
+  bool drained(std::size_t w) const { return rings_[w]->drained(); }
+
+  /// Returns a consumed batch to the pool.
+  void recycle(BatchPtr batch) { pool_.release(std::move(batch)); }
+
+  /// Number of output channels.
+  std::size_t worker_count() const noexcept { return config_.workers; }
+
+  /// The stratum -> channel map (Fibonacci-mixed hash, deterministic): every
+  /// record of one sub-stream lands on one channel.
+  static std::size_t route(sampling::StratumId stratum, std::size_t workers) {
+    std::uint64_t h = static_cast<std::uint64_t>(stratum) + 1;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h % workers);
+  }
+
+  // ---- Introspection (valid after run() returns; atomic during) ----------
+
+  /// Data batches emitted across all channels.
+  std::uint64_t batches_emitted() const noexcept {
+    return batches_emitted_.load(std::memory_order_relaxed);
+  }
+  /// Watermark-only heartbeat batches emitted across all channels.
+  std::uint64_t heartbeats_emitted() const noexcept {
+    return heartbeats_emitted_.load(std::memory_order_relaxed);
+  }
+  /// Records routed downstream.
+  std::uint64_t records_routed() const noexcept {
+    return records_routed_.load(std::memory_order_relaxed);
+  }
+  /// Batch-pool allocation high-water mark (steady state stops growing).
+  std::size_t batches_allocated() const { return pool_.allocated(); }
+
+ private:
+  /// Blocks until channel `w` accepts `batch` (backpressure).
+  void push_channel(std::size_t w, BatchPtr batch);
+
+  ExchangeConfig config_;
+  std::vector<Consumer> inputs_;  ///< one single-partition consumer each
+  std::vector<std::unique_ptr<SpscRing<BatchPtr>>> rings_;
+  engine::BatchPool pool_;
+
+  std::atomic<std::uint64_t> batches_emitted_{0};
+  std::atomic<std::uint64_t> heartbeats_emitted_{0};
+  std::atomic<std::uint64_t> records_routed_{0};
+};
+
+}  // namespace streamapprox::ingest

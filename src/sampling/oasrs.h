@@ -4,6 +4,7 @@
 // sub-stream statistics required and no synchronisation between workers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -48,26 +49,29 @@ class OasrsSampler {
 
   /// Offers one arriving item (paper Algorithm 3 inner loop): updates the
   /// stratum counter C_i and the stratum reservoir.
-  void offer(const T& item) {
-    const StratumId id = key_(item);
-    auto it = reservoirs_.find(id);
-    if (it == reservoirs_.end()) {
-      // New stratum discovered mid-interval: the shared budget is re-split
-      // over the larger stratum set, shrinking existing reservoirs (a
-      // uniform subsample stays uniform) so the total never exceeds the
-      // budget.
-      order_.push_back(id);
-      const std::size_t capacity = capacity_for(order_.size());
-      if (config_.total_budget > 0) {
-        for (auto& [existing_id, reservoir] : reservoirs_) {
-          reservoir.shrink_capacity(capacity);
-        }
+  void offer(const T& item) { reservoir_for(key_(item)).offer(item); }
+
+  /// Offers a contiguous run of items, caching the reservoir lookup across
+  /// consecutive same-stratum items — the batched data plane's hot path
+  /// (partition batches arrive grouped by sub-stream, so runs are long).
+  /// Pointers into the reservoir map are stable across rehashes, so the
+  /// cache survives mid-batch stratum discovery.
+  void offer_batch(const T* items, std::size_t count) {
+    ReservoirSampler<T>* cached = nullptr;
+    StratumId cached_id{};
+    for (std::size_t i = 0; i < count; ++i) {
+      const StratumId id = key_(items[i]);
+      if (cached == nullptr || id != cached_id) {
+        cached = &reservoir_for(id);
+        cached_id = id;
       }
-      it = reservoirs_
-               .emplace(id, ReservoirSampler<T>(capacity, rng_.fork().next()))
-               .first;
+      cached->offer(items[i]);
     }
-    it->second.offer(item);
+  }
+
+  /// Convenience overload over a whole vector.
+  void offer_batch(const std::vector<T>& items) {
+    offer_batch(items.data(), items.size());
   }
 
   /// Ends the current interval: returns every stratum's (items, C_i, W_i)
@@ -98,8 +102,10 @@ class OasrsSampler {
                                   config_.policy, counts)
             : std::vector<std::size_t>(order_.size(),
                                        config_.per_stratum_capacity);
+    max_capacity_ = 0;
     for (std::size_t i = 0; i < order_.size(); ++i) {
       reservoirs_.at(order_[i]).reset(capacities[i]);
+      max_capacity_ = std::max(max_capacity_, capacities[i]);
     }
     return result;
   }
@@ -137,6 +143,7 @@ class OasrsSampler {
         reservoir.shrink_capacity(capacity);
       }
     }
+    if (!reservoirs_.empty()) max_capacity_ = capacity;
   }
 
   /// Adjusts the fixed per-stratum capacity for subsequent intervals.
@@ -167,17 +174,50 @@ class OasrsSampler {
       auto& theirs = other.reservoirs_.at(id);
       auto it = reservoirs_.find(id);
       if (it == reservoirs_.end()) {
+        const std::size_t capacity = stratum_capacity();
         it = reservoirs_
-                 .emplace(id, ReservoirSampler<T>(stratum_capacity(),
-                                                  rng_.fork().next()))
+                 .emplace(id,
+                          ReservoirSampler<T>(capacity, rng_.fork().next()))
                  .first;
         order_.push_back(id);
+        max_capacity_ = std::max(max_capacity_, capacity);
       }
       it->second.merge(theirs);
     }
   }
 
  private:
+  /// Looks up (or discovers) the reservoir of stratum `id`.
+  ReservoirSampler<T>& reservoir_for(const StratumId id) {
+    auto it = reservoirs_.find(id);
+    if (it == reservoirs_.end()) {
+      // New stratum discovered mid-interval: the shared budget is re-split
+      // over the larger stratum set, shrinking existing reservoirs (a
+      // uniform subsample stays uniform) so the total never exceeds the
+      // budget. The pass is skipped when no existing reservoir exceeds the
+      // new share (every shrink_capacity call would be a no-op), tracked via
+      // the high-water capacity — so S-stratum discovery costs O(S)
+      // reservoir visits overall once the integer share budget/S stops
+      // changing, instead of O(S²) always.
+      order_.push_back(id);
+      const std::size_t capacity = capacity_for(order_.size());
+      if (config_.total_budget > 0 && capacity < max_capacity_) {
+        for (auto& [existing_id, reservoir] : reservoirs_) {
+          reservoir.shrink_capacity(capacity);
+        }
+      }
+      // Whether the pass ran (everything shrunk to `capacity`) or was
+      // skipped (everything already at or below it), `capacity` is now the
+      // high water. Assigning — not max-combining — is what lets it tighten
+      // as shares shrink; a monotone high water would stop the skip firing.
+      max_capacity_ = capacity;
+      it = reservoirs_
+               .emplace(id, ReservoirSampler<T>(capacity, rng_.fork().next()))
+               .first;
+    }
+    return it->second;
+  }
+
   /// Per-stratum capacity when `strata` strata share the budget.
   std::size_t capacity_for(std::size_t strata) const {
     if (config_.total_budget == 0) return config_.per_stratum_capacity;
@@ -193,6 +233,9 @@ class OasrsSampler {
   streamapprox::Rng rng_;
   std::unordered_map<StratumId, ReservoirSampler<T>> reservoirs_;
   std::vector<StratumId> order_;
+  /// High-water reservoir capacity: when a new stratum's share is not below
+  /// it, no reservoir can need shrinking and the re-split pass is skipped.
+  std::size_t max_capacity_ = 0;
 };
 
 /// Deduces a convenient OASRS type for items that expose `.stratum`.

@@ -272,5 +272,60 @@ TEST(ConsumerGroup, MoreMembersThanPartitions) {
   EXPECT_EQ(total, 100u);
 }
 
+TEST(PartitionLog, BatchOutReadFillsCallerBatch) {
+  PartitionLog log;
+  for (int i = 0; i < 10; ++i) log.append(make_record(0, i, i * 100));
+  engine::RecordBatch batch;
+  const Offset next = log.read(2, 4, batch);
+  EXPECT_EQ(next, 6u);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_DOUBLE_EQ(batch.records.front().value, 2.0);
+}
+
+TEST(Consumer, ReuseBufferPollIsClearedAndFilled) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  Producer producer(broker, "t");
+  for (int i = 0; i < 500; ++i) {
+    producer.send(make_record(static_cast<sampling::StratumId>(i % 3), i));
+  }
+  producer.finish();
+
+  Consumer consumer(broker, "t");
+  std::vector<Record> buffer;
+  buffer.push_back(make_record(9, -1.0));  // stale content must be cleared
+  std::size_t total = 0;
+  while (!consumer.exhausted()) {
+    const std::size_t fetched = consumer.poll(buffer, 64, 10);
+    EXPECT_EQ(fetched, buffer.size());
+    for (const auto& record : buffer) EXPECT_LT(record.stratum, 3u);
+    total += fetched;
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Consumer, BatchOutPollStampsSingleSourcePartition) {
+  Broker broker;
+  broker.create_topic("t", 3);
+  Producer producer(broker, "t");
+  for (int i = 0; i < 90; ++i) {
+    producer.send(make_record(static_cast<sampling::StratumId>(i % 3), i));
+  }
+  producer.finish();
+
+  // Single-partition assignment: the batch is tagged with its source.
+  Consumer single(broker, "t", {1});
+  engine::RecordBatch batch;
+  single.poll(batch, 64, 10);
+  EXPECT_EQ(batch.source_partition, 1u);
+  EXPECT_FALSE(batch.empty());
+  for (const auto& record : batch.records) EXPECT_EQ(record.stratum % 3, 1u);
+
+  // Multi-partition assignment: mixed sources.
+  Consumer all(broker, "t");
+  all.poll(batch, 64, 10);
+  EXPECT_EQ(batch.source_partition, engine::RecordBatch::kMixedSources);
+}
+
 }  // namespace
 }  // namespace streamapprox::ingest

@@ -371,5 +371,60 @@ TEST(OasrsMerge, MergedEstimateIsUnbiased) {
   EXPECT_NEAR(merged_mean, single_mean, 2.0);
 }
 
+TEST(Oasrs, OfferBatchMatchesPerRecordOffer) {
+  // offer_batch is the same algorithm with a cached reservoir lookup: with
+  // identical seeds the two paths must produce bit-identical samples.
+  OasrsConfig config;
+  config.total_budget = 64;
+  config.seed = 77;
+  auto one_by_one = make_oasrs<Record>(config);
+  auto batched = make_oasrs<Record>(config);
+
+  std::vector<Record> records;
+  for (int i = 0; i < 20000; ++i) {
+    // Runs of same-stratum records with occasional switches, including a
+    // mid-batch new-stratum discovery.
+    records.push_back(make_record(static_cast<StratumId>((i / 37) % 11),
+                                  static_cast<double>(i)));
+  }
+  for (const auto& record : records) one_by_one.offer(record);
+  batched.offer_batch(records);
+
+  const auto a = one_by_one.take();
+  const auto b = batched.take();
+  ASSERT_EQ(a.strata.size(), b.strata.size());
+  for (std::size_t s = 0; s < a.strata.size(); ++s) {
+    EXPECT_EQ(a.strata[s].stratum, b.strata[s].stratum);
+    EXPECT_EQ(a.strata[s].seen, b.strata[s].seen);
+    EXPECT_DOUBLE_EQ(a.strata[s].weight, b.strata[s].weight);
+    ASSERT_EQ(a.strata[s].items.size(), b.strata[s].items.size());
+    for (std::size_t i = 0; i < a.strata[s].items.size(); ++i) {
+      EXPECT_EQ(a.strata[s].items[i], b.strata[s].items[i]);
+    }
+  }
+}
+
+TEST(Oasrs, ManyStrataDiscoveryKeepsBudgetInvariant) {
+  // The O(S) discovery fast path (skip the re-shrink pass when no reservoir
+  // exceeds the new share) must preserve the budget invariant: the total
+  // sample never exceeds total_budget no matter how many strata appear.
+  OasrsConfig config;
+  config.total_budget = 1000;
+  config.seed = 5;
+  auto sampler = make_oasrs<Record>(config);
+  constexpr std::size_t kStrata = 500;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t s = 0; s < kStrata; ++s) {
+      for (int i = 0; i < 4; ++i) {
+        sampler.offer(make_record(static_cast<StratumId>(s), 1.0));
+      }
+    }
+    EXPECT_EQ(sampler.stratum_count(), kStrata);
+    auto sample = sampler.take();
+    EXPECT_EQ(sample.strata.size(), kStrata);
+    EXPECT_LE(sample.total_sampled(), config.total_budget);
+  }
+}
+
 }  // namespace
 }  // namespace streamapprox::sampling

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -30,16 +31,23 @@ StreamApproxConfig base_config(std::size_t workers) {
   config.query = {Aggregation::kMean, false};
   config.workers = workers;
   config.seed = 99;
+  // These tests replay-and-seal; idleness is not under test (the dedicated
+  // idle tests override this). A generous grace keeps a starved replay
+  // thread on a loaded CI box from tripping the idleness rule mid-stream.
+  config.idle_partition_timeout_ms = 30'000;
   return config;
 }
 
-std::vector<WindowOutput> run_mode(const std::vector<engine::Record>& records,
-                                   std::size_t workers,
-                                   std::size_t partitions) {
+std::vector<WindowOutput> run_mode(
+    const std::vector<engine::Record>& records, std::size_t workers,
+    std::size_t partitions,
+    const std::function<void(StreamApproxConfig&)>& mutate = {}) {
   ingest::Broker broker;
   broker.create_topic("input", partitions);
   ingest::ReplayTool replay(broker, "input", records, {});
-  StreamApprox system(broker, base_config(workers));
+  auto config = base_config(workers);
+  if (mutate) mutate(config);
+  StreamApprox system(broker, config);
   std::vector<WindowOutput> outputs;
   system.run([&](const WindowOutput& output) { outputs.push_back(output); });
   replay.wait();
@@ -92,12 +100,60 @@ TEST(ParallelEquivalence, MorePartitionsThanStrata) {
   }
 }
 
-TEST(ParallelEquivalence, WorkersCappedAtPartitionCount) {
-  // More workers than partitions: extra workers would have no partitions;
-  // the facade caps parallelism and still produces every window.
+TEST(ParallelEquivalence, WorkersExceedPartitionsViaExchange) {
+  // The tentpole acceptance case: an 8-worker / 2-partition topic. The
+  // exchange re-keys partition batches by stratum hash onto 8 channels, so
+  // parallelism is no longer capped by the partition count — and the
+  // repartitioned path must still see exactly the sequential path's records
+  // in every window.
   const auto records = make_stream(3.0, 20000.0, 10);
   const auto sequential = run_mode(records, 1, 2);
   const auto sharded = run_mode(records, 8, 2);
+  ASSERT_GT(sequential.size(), 2u);
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen)
+        << "window " << i;
+    EXPECT_EQ(sequential[i].estimate.window_end_us,
+              sharded[i].estimate.window_end_us)
+        << "window " << i;
+  }
+}
+
+TEST(ParallelEquivalence, GroupModeStillCapsWorkersAtPartitions) {
+  // With the exchange disabled, extra workers would have no partitions; the
+  // facade caps parallelism and still produces every window.
+  const auto records = make_stream(3.0, 20000.0, 10);
+  const auto sequential = run_mode(records, 1, 2);
+  const auto sharded = run_mode(
+      records, 8, 2, [](StreamApproxConfig& c) { c.use_exchange = false; });
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen);
+  }
+}
+
+TEST(ParallelEquivalence, GroupModeMatchesSequential) {
+  // The partition-split path (exchange off) remains equivalent too.
+  const auto records = make_stream(4.0, 24000.0, 13);
+  const auto sequential = run_mode(records, 1, 3);
+  const auto sharded = run_mode(
+      records, 4, 3, [](StreamApproxConfig& c) { c.use_exchange = false; });
+  ASSERT_GT(sequential.size(), 3u);
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen)
+        << "window " << i;
+  }
+}
+
+TEST(ParallelEquivalence, SinglePartitionStillShardsViaExchange) {
+  // One partition used to force the sequential path; the exchange spreads
+  // its strata across workers regardless.
+  const auto records = make_stream(3.0, 20000.0, 14);
+  const auto sequential = run_mode(records, 1, 1);
+  const auto sharded = run_mode(records, 4, 1);
+  ASSERT_GT(sequential.size(), 2u);
   ASSERT_EQ(sequential.size(), sharded.size());
   for (std::size_t i = 0; i < sequential.size(); ++i) {
     EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen);
@@ -164,6 +220,61 @@ TEST(ParallelEquivalence, DrainedActivePlusIdlePartitionStillFlushes) {
         << "stranded windows with workers=" << workers;
     topic.partition(1).seal();
     runner.join();
+  }
+}
+
+TEST(ParallelEquivalence, IdlePartitionResumesWithoutDroppingLiveRecords) {
+  // A partition that goes idle past idle_partition_timeout_ms stops gating
+  // the watermark; when it later RESUMES with records at live event times
+  // (at or beyond the watermark), it must re-enter the watermark and none of
+  // its live records may be dropped — in every execution mode.
+  struct Mode {
+    const char* name;
+    std::size_t workers;
+    bool use_exchange;
+  };
+  for (const Mode mode : {Mode{"sequential", 1, true},
+                          Mode{"exchange", 4, true},
+                          Mode{"group", 4, false}}) {
+    ingest::Broker broker;
+    auto& topic = broker.create_topic("input", 2);
+    // Phase 1: stratum 0 -> partition 0, 3000 records over [0 s, 3 s).
+    // Partition 1 stays silent past the grace period.
+    for (int i = 0; i < 3000; ++i) {
+      topic.partition(0).append(engine::Record{0, 1.0, i * 1000});
+    }
+    auto config = base_config(mode.workers);
+    config.window = {1'000'000, 1'000'000};  // tumbling: each record counted once
+    config.idle_partition_timeout_ms = 100;
+    config.use_exchange = mode.use_exchange;
+    StreamApprox system(broker, config);
+    std::atomic<std::size_t> windows{0};
+    std::atomic<std::uint64_t> seen{0};
+    std::thread runner([&] {
+      system.run([&](const WindowOutput& output) {
+        windows.fetch_add(1);
+        seen.fetch_add(output.records_seen);
+      });
+    });
+    // Wait until the idle partition was excluded and windows flowed.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (windows.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GT(windows.load(), 0u) << mode.name << ": no windows while idle";
+    // Phase 2: partition 1 resumes with LIVE records, [3 s, 6 s) — all at
+    // or beyond any closed slide's end, so none may be late-dropped.
+    for (int i = 0; i < 3000; ++i) {
+      topic.partition(1).append(
+          engine::Record{1, 2.0, 3'000'000 + i * 1000});
+    }
+    topic.seal();
+    runner.join();
+    EXPECT_EQ(windows.load(), 6u) << mode.name;
+    EXPECT_EQ(seen.load(), 6000u)
+        << mode.name << ": resumed partition's live records were dropped";
   }
 }
 

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include "estimation/estimators.h"
 
@@ -77,6 +79,58 @@ TEST(PipelineDriver, LateRecordsAreDroppedAfterClose) {
   // A record for slide 0 is now behind the watermark.
   EXPECT_FALSE(driver.offer(Record{0, 1.0, 1000}));
   EXPECT_TRUE(driver.offer(Record{0, 1.0, 4'999'000}));
+}
+
+TEST(PipelineDriver, OfferBatchMatchesPerRecordOffer) {
+  // The batched hot path (one slide lookup per run of same-slide records)
+  // is the same lifecycle: identical seeds must yield identical windows.
+  std::vector<WindowOutput> by_record;
+  std::vector<WindowOutput> by_batch;
+  PipelineDriver a(small_window_config(),
+                   [&](const WindowOutput& o) { by_record.push_back(o); });
+  PipelineDriver b(small_window_config(),
+                   [&](const WindowOutput& o) { by_batch.push_back(o); });
+
+  std::vector<Record> records;
+  for (int i = 0; i < 6000; ++i) {
+    records.push_back(Record{static_cast<sampling::StratumId>(i % 3),
+                             1.0 + i % 7, i * 1000});
+  }
+  for (const auto& record : records) a.offer(record);
+  // Feed b the same stream in chunks, as the poll loop would.
+  for (std::size_t i = 0; i < records.size(); i += 512) {
+    const std::size_t n = std::min<std::size_t>(512, records.size() - i);
+    EXPECT_EQ(b.offer_batch(records.data() + i, n), n);
+  }
+  a.advance(5'999'000);
+  b.advance(5'999'000);
+  a.finish();
+  b.finish();
+
+  ASSERT_GT(by_record.size(), 3u);
+  ASSERT_EQ(by_record.size(), by_batch.size());
+  for (std::size_t i = 0; i < by_record.size(); ++i) {
+    EXPECT_EQ(by_record[i].records_seen, by_batch[i].records_seen);
+    EXPECT_EQ(by_record[i].records_sampled, by_batch[i].records_sampled);
+    EXPECT_DOUBLE_EQ(by_record[i].estimate.overall.estimate,
+                     by_batch[i].estimate.overall.estimate);
+  }
+}
+
+TEST(PipelineDriver, OfferBatchDropsLateRuns) {
+  PipelineDriver driver(small_window_config(), [](const WindowOutput&) {});
+  std::vector<Record> warm;
+  for (int i = 0; i < 5000; ++i) warm.push_back(Record{0, 1.0, i * 1000});
+  EXPECT_EQ(driver.offer_batch(warm), warm.size());
+  ASSERT_GT(driver.advance(4'999'000), 0u);
+
+  // A batch mixing a late run (slide 0, now closed) with a live run: only
+  // the live records are accepted.
+  std::vector<Record> mixed = {Record{0, 1.0, 1000},
+                               Record{0, 1.0, 2000},
+                               Record{0, 1.0, 4'999'000},
+                               Record{0, 1.0, 4'999'500}};
+  EXPECT_EQ(driver.offer_batch(mixed), 2u);
 }
 
 TEST(PipelineDriver, CellsPathAssemblesWindows) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -104,6 +105,22 @@ TEST(SpscRing, FullRejectsPush) {
   EXPECT_GE(pushed, 2);
   ring.try_pop();
   EXPECT_TRUE(ring.try_push(99));
+}
+
+TEST(SpscRing, TryPushKeepRetainsValueWhenFull) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  while (true) {
+    auto value = std::make_unique<int>(1);
+    if (!ring.try_push_keep(value)) {
+      // Full: the value must survive for a retry.
+      ASSERT_NE(value, nullptr);
+      ring.try_pop();
+      EXPECT_TRUE(ring.try_push_keep(value));
+      EXPECT_EQ(value, nullptr);  // consumed on success
+      break;
+    }
+    EXPECT_EQ(value, nullptr);
+  }
 }
 
 TEST(SpscRing, DrainedSemantics) {

@@ -21,6 +21,10 @@ StreamApproxConfig base_config() {
   config.topic = "input";
   config.window = {1'000'000, 500'000};
   config.query = {Aggregation::kMean, false};
+  // Idleness is not under test here and every stream is replayed-and-sealed;
+  // a generous grace keeps a starved replay thread on a loaded CI box from
+  // tripping the idleness rule mid-stream.
+  config.idle_partition_timeout_ms = 30'000;
   return config;
 }
 
