@@ -1,12 +1,14 @@
 // Quickstart: the smallest end-to-end StreamApprox program.
 //
 // Produces a synthetic 3-sub-stream Gaussian stream into the Kafka-like
-// broker, runs an approximate windowed MEAN query over it at a 20% sampling
-// fraction, and prints each window's estimate with its rigorous error bound
-// next to the exact answer.
+// broker and runs THREE concurrent approximate queries over it at a 20%
+// sampling fraction — a per-stratum SUM, an overall MEAN, and a value
+// HISTOGRAM — registered on the query registry. The stream is ingested,
+// repartitioned, sampled and windowed ONCE; every window output carries
+// all three queries' estimates with their rigorous error bounds.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
-//               ./build/examples/quickstart
+//               ./build/example_quickstart
 #include <cstdio>
 
 #include "core/query.h"
@@ -30,12 +32,19 @@ int main() {
   broker.create_topic("quickstart", /*partitions=*/3);
   ingest::ReplayTool replay(broker, "quickstart", records, {});
 
-  // 3. StreamApprox: windowed MEAN, 20% sampling budget, 2s/1s windows.
+  // 3. StreamApprox: 20% sampling budget, 2s/1s windows, and a query
+  //    registry with three concurrent queries over the ONE sampled stream.
+  //    The MEAN rides at 3-sigma confidence while the SUM keeps the default
+  //    2-sigma — per-query z.
   core::StreamApproxConfig config;
   config.topic = "quickstart";
-  config.query = {core::Aggregation::kMean, /*per_stratum=*/false};
   config.budget = estimation::QueryBudget::fraction(0.20);
   config.window = {2'000'000, 1'000'000};
+  config.queries.aggregate("sum/substream",
+                           {core::Aggregation::kSum, /*per_stratum=*/true});
+  config.queries.aggregate("mean", {core::Aggregation::kMean, false},
+                           /*z=*/3.0);
+  config.queries.histogram("values", {0.0, 12000.0, 24});
   // Parallel sampling: 4 workers even though the topic has 3 partitions —
   // the repartitioning exchange (on by default) re-keys partition batches by
   // stratum hash, so worker count is independent of partition count. Tune
@@ -45,28 +54,49 @@ int main() {
 
   core::StreamApprox system(broker, config);
 
-  std::printf("%-10s %-28s %-14s %-10s\n", "window", "approx (95% CI)",
-              "exact", "sampled");
-  const auto exact_estimates = core::evaluate_windows(
-      exact_windows, config.query);
+  const auto exact_means = core::evaluate_windows(
+      exact_windows, {core::Aggregation::kMean, false});
+  std::printf("%-10s %-30s %-34s %-8s\n", "window",
+              "SUM/substream (95% CI, top group)", "MEAN (99.7% CI vs exact)",
+              "sampled");
   std::size_t index = 0;
   system.run([&](const core::WindowOutput& output) {
-    double exact = 0.0;
-    for (const auto& w : exact_estimates) {
+    double exact_mean = 0.0;
+    for (const auto& w : exact_means) {
       if (w.window_end_us == output.estimate.window_end_us) {
-        exact = w.overall.estimate;
+        exact_mean = w.overall.estimate;
       }
     }
-    const auto& overall = output.estimate.overall;
-    std::printf("[%2zu] %4.0fs %10.2f +/- %-10.2f %12.2f %5.1f%%\n", index++,
-                static_cast<double>(output.estimate.window_end_us) / 1e6,
-                overall.estimate, overall.error_bound(2.0), exact,
-                100.0 * static_cast<double>(output.records_sampled) /
-                    static_cast<double>(output.records_seen));
+    // Query 0: per-stratum SUM — print the largest group.
+    const auto& sum = output.queries[0];
+    double top_sum = 0.0;
+    double top_bound = 0.0;
+    sampling::StratumId top_stratum = 0;
+    for (const auto& [stratum, result] : sum.estimate.groups) {
+      if (result.estimate > top_sum) {
+        top_sum = result.estimate;
+        top_bound = result.error_bound(sum.z);
+        top_stratum = stratum;
+      }
+    }
+    // Query 1: overall MEAN at its own 3-sigma confidence.
+    const auto& mean = output.queries[1];
+    std::printf(
+        "[%2zu] %4.0fs  s%u: %12.0f +/- %-9.0f %9.2f +/- %-7.2f (%8.2f) "
+        "%5.1f%%\n",
+        index++, static_cast<double>(output.estimate.window_end_us) / 1e6,
+        top_stratum, top_sum, top_bound,
+        mean.estimate.overall.estimate,
+        mean.estimate.overall.error_bound(mean.z), exact_mean,
+        100.0 * static_cast<double>(output.records_sampled) /
+            static_cast<double>(output.records_seen));
   });
   replay.wait();
 
-  std::printf("\nEach window aggregated ~20%% of the records, and the exact "
-              "answer lies within the reported +/- bound.\n");
+  std::printf(
+      "\nAll three registered queries consumed the SAME sample — the stream "
+      "was ingested, sampled and windowed once.\nThe exact answers lie "
+      "within the reported +/- bounds; the MEAN's bound is wider because it "
+      "rides at 99.7%% confidence.\n");
   return 0;
 }

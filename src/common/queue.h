@@ -17,6 +17,17 @@
 #include <utility>
 #include <vector>
 
+// TSan does not model standalone atomic fences (gcc's -Wtsan); under TSan
+// the Dekker barrier below uses a seq_cst RMW instead — same StoreLoad
+// ordering, visible to the race detector.
+#if defined(__SANITIZE_THREAD__)
+#define STREAMAPPROX_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STREAMAPPROX_TSAN 1
+#endif
+#endif
+
 namespace streamapprox {
 
 /// Blocking bounded multi-producer multi-consumer queue.
@@ -115,8 +126,18 @@ class BoundedQueue {
 ///
 /// Capacity is rounded up to a power of two. One slot is kept empty to
 /// distinguish full from empty, so the usable capacity is capacity-1.
-/// Producer calls try_push/close, consumer calls try_pop/drained; no other
-/// thread may touch either end.
+/// Producer calls try_push/push/close, consumer calls try_pop/drained; no
+/// other thread may touch either end.
+///
+/// Backpressure: push() blocks on a condition variable while the ring is
+/// full, so a producer ahead of its consumer parks instead of spinning. The
+/// mutex/condvar are touched ONLY on the full-ring slow path; the pop fast
+/// path stays lock-free but pays one seq_cst fence plus a relaxed flag load
+/// per successful pop (a full barrier on x86 — cheap at this ring's
+/// batch-per-element granularity). The fences form the classic Dekker
+/// handshake: either the producer's post-flag retry sees the freed slot, or
+/// the consumer's post-pop check sees the waiting flag and notifies — a
+/// wakeup cannot be lost.
 template <typename T>
 class SpscRing {
  public:
@@ -144,17 +165,59 @@ class SpscRing {
     return true;
   }
 
+  /// Blocking producer side: parks on a condition variable while the ring
+  /// is full (no spinning), moving `value` in once a slot frees. Returns
+  /// false — with `value` intact — only if the ring was closed while
+  /// waiting (an aborting peer may close to release a blocked producer).
+  bool push(T& value) {
+    if (try_push_keep(value)) return true;
+    std::unique_lock lock(wait_mutex_);
+    for (;;) {
+      producer_waiting_.store(true, std::memory_order_relaxed);
+      // Barrier A of the Dekker pair: orders the flag store before the
+      // retry's tail load against the consumer's tail store / flag load
+      // (barrier B).
+      dekker_barrier();
+      const bool pushed = try_push_keep(value);
+      if (pushed || closed_.load(std::memory_order_acquire)) {
+        producer_waiting_.store(false, std::memory_order_relaxed);
+        return pushed;
+      }
+      not_full_.wait(lock);
+    }
+  }
+
+  /// Convenience blocking push by value; the element is lost only when the
+  /// ring was closed (return false).
+  bool push(T&& value) {
+    T moved = std::move(value);
+    return push(moved);
+  }
+
   /// Consumer side: dequeues if an element is available.
   std::optional<T> try_pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
     T value = std::move(buffer_[tail]);
     tail_.store((tail + 1) & mask_, std::memory_order_release);
+    // Barrier B: the tail store above is ordered before the flag check, so a
+    // producer that missed this pop must be seen waiting here (and then the
+    // empty lock section serialises with it being inside wait()).
+    dekker_barrier();
+    if (producer_waiting_.load(std::memory_order_relaxed)) {
+      { std::lock_guard lock(wait_mutex_); }
+      not_full_.notify_one();
+    }
     return value;
   }
 
-  /// Producer signals end-of-stream.
-  void close() { closed_.store(true, std::memory_order_release); }
+  /// Producer signals end-of-stream. Any peer may also close to release a
+  /// producer blocked in push().
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    { std::lock_guard lock(wait_mutex_); }
+    not_full_.notify_all();
+  }
 
   /// True when the producer closed the ring AND all elements were consumed.
   bool drained() const {
@@ -180,11 +243,27 @@ class SpscRing {
     return p;
   }
 
+  /// The StoreLoad barrier of the wakeup handshake (see class comment).
+  void dekker_barrier() {
+#ifdef STREAMAPPROX_TSAN
+    barrier_word_.fetch_add(1, std::memory_order_seq_cst);
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+
   std::vector<T> buffer_;
   std::size_t mask_;
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::atomic<std::size_t> tail_{0};
   std::atomic<bool> closed_{false};
+  /// Blocking-push slow path only; untouched while the ring has room.
+  std::atomic<bool> producer_waiting_{false};
+#ifdef STREAMAPPROX_TSAN
+  std::atomic<unsigned> barrier_word_{0};
+#endif
+  std::mutex wait_mutex_;
+  std::condition_variable not_full_;
 };
 
 }  // namespace streamapprox

@@ -35,14 +35,10 @@ std::vector<estimation::StratumSummary> summarize_with_cost(
   return cells;
 }
 
-estimation::FeedbackConfig feedback_config_for(
-    const PipelineDriverConfig& config) {
-  estimation::FeedbackConfig feedback;
-  feedback.target_relative_error =
-      config.budget.kind == estimation::BudgetKind::kRelativeError
-          ? config.budget.value
-          : 0.01;
-  return feedback;
+estimation::FeedbackConfig feedback_base_config() {
+  // Controller tuning shared by every registered target; each target
+  // overrides target_relative_error when it registers with the bank.
+  return estimation::FeedbackConfig{};
 }
 
 }  // namespace
@@ -53,8 +49,41 @@ PipelineDriver::PipelineDriver(PipelineDriverConfig config, OutputFn on_output,
       on_output_(std::move(on_output)),
       on_window_(std::move(on_window)),
       assembler_(config_.window),
-      feedback_(feedback_config_for(config_), config_.initial_budget),
-      slide_budget_(config_.initial_budget) {}
+      feedback_(feedback_base_config(), config_.initial_budget),
+      slide_budget_(config_.initial_budget) {
+  if (!config_.evaluate) return;
+  // Build the query registry: the configured set, or — for backward
+  // compatibility — a set synthesised from the legacy single-query fields.
+  sinks_ = config_.queries.clone_sinks();
+  if (sinks_.empty()) {
+    QuerySet legacy;
+    legacy.aggregate("query", config_.query);
+    if (config_.histogram) legacy.histogram("histogram", *config_.histogram);
+    sinks_ = legacy.clone_sinks();
+  }
+  // An accuracy budget is the default target for queries without their own;
+  // every targeted query gets a controller and the strictest drives the
+  // budget (max across controllers).
+  const std::optional<double> fallback_target =
+      config_.budget.kind == estimation::BudgetKind::kRelativeError
+          ? std::optional<double>(config_.budget.value)
+          : std::nullopt;
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    sinks_[i]->bind(config_.window, config_.z);
+    if (const auto target = sinks_[i]->accuracy_target(fallback_target)) {
+      feedback_.add_target(*target);
+      feedback_sinks_.push_back(i);
+    }
+  }
+  if (feedback_.empty() && fallback_target && !sinks_.empty()) {
+    // Histogram-only registry with an accuracy budget: no sink inherited the
+    // fallback target, but the user still asked for accuracy-driven
+    // adaptation — drive one controller from the first query's observed
+    // bound rather than silently pinning the budget at its initial value.
+    feedback_.add_target(*fallback_target);
+    feedback_sinks_.push_back(0);
+  }
+}
 
 sampling::OasrsConfig PipelineDriver::slide_sampler_config(
     std::int64_t slide, std::size_t shard, std::size_t shards) const {
@@ -176,34 +205,26 @@ void PipelineDriver::close_slide_cells(
 
 void PipelineDriver::complete_slide(
     std::vector<estimation::StratumSummary> cells,
-    const sampling::StratifiedSample<engine::Record>* sample_for_histogram) {
+    const sampling::StratifiedSample<engine::Record>* sample) {
   closed_any_ = true;
-
-  // Per-slide weighted histograms for the optional HISTOGRAM query; the
-  // window histogram is the merge of its slides' histograms.
-  const std::size_t slides_per_window = config_.window.slides_per_window();
-  if (config_.histogram) {
-    if (sample_for_histogram != nullptr) {
-      slide_histograms_.push_back(estimation::weighted_histogram(
-          *sample_for_histogram, engine::RecordValue{}, *config_.histogram));
-    } else {
-      slide_histograms_.emplace_back(config_.histogram->lo,
-                                     config_.histogram->hi,
-                                     config_.histogram->buckets);
-    }
-    if (slide_histograms_.size() > slides_per_window) {
-      slide_histograms_.pop_front();
-    }
-  }
 
   // Budget bookkeeping only matters when someone consumes the budget; in
   // raw-window harness mode (evaluate == false) no sampler reads it, so the
-  // cells copy and the cost-function call stay out of the timed loop.
+  // cells copy, the sink hooks and the cost-function call all stay out of
+  // the timed loop.
   if (config_.evaluate) {
-    std::uint64_t slide_seen = 0;
-    for (const auto& cell : cells) slide_seen += cell.seen;
-    last_slide_seen_ = slide_seen;
-    last_cells_ = cells;
+    if (feedback_.empty()) {
+      // Arrival statistics feed only the cost-function fallback, which is
+      // unreachable once accuracy controllers drive the budget — skip the
+      // per-slide cells copy in that mode.
+      std::uint64_t slide_seen = 0;
+      for (const auto& cell : cells) slide_seen += cell.seen;
+      last_slide_seen_ = slide_seen;
+      last_cells_ = cells;
+    }
+    // Slide-granular fan-out: sinks that keep per-slide state (the HISTOGRAM
+    // ring) see every closed slide, empty padded ones included.
+    for (auto& sink : sinks_) sink->on_slide(cells, sample);
   }
 
   bool fed_back = false;
@@ -213,37 +234,50 @@ void PipelineDriver::complete_slide(
       if (on_window_) on_window_(std::move(*window));
     } else {
       WindowOutput output;
+      // Sampling effort is a property of the WINDOW, counted once however
+      // many queries consume it — the sample-once/answer-many invariant.
       for (const auto& cell : window->cells) {
         output.records_seen += cell.seen;
         output.records_sampled += cell.sampled;
       }
-      auto estimates = evaluate_windows({*window}, config_.query);
-      output.estimate = std::move(estimates.front());
       output.budget_in_force = slide_budget_.load(std::memory_order_relaxed);
-      if (config_.histogram) {
-        Histogram merged(config_.histogram->lo, config_.histogram->hi,
-                         config_.histogram->buckets);
-        for (const auto& histogram : slide_histograms_) {
-          merged.merge(histogram);
+      // Window fan-out: every registered query evaluates the same window.
+      output.queries.reserve(sinks_.size());
+      for (auto& sink : sinks_) {
+        output.queries.push_back(sink->evaluate(*window));
+      }
+      // Legacy mirrors: the first query is THE query of a single-query
+      // config, and the first histogram its optional histogram.
+      if (!output.queries.empty()) {
+        output.estimate = output.queries.front().estimate;
+      }
+      for (const auto& query : output.queries) {
+        if (query.histogram) {
+          output.histogram = query.histogram;
+          break;
         }
-        output.histogram = std::move(merged);
       }
       if (on_output_) on_output_(output);
       if (on_window_) on_window_(std::move(*window));
 
-      // Adaptive feedback (§4.2): with an accuracy budget, grow/shrink the
-      // sample size from the observed error bound.
-      if (config_.budget.kind == estimation::BudgetKind::kRelativeError) {
-        const double bound = output.estimate.overall.relative_bound(config_.z);
-        slide_budget_.store(feedback_.update(bound),
+      // Adaptive feedback (§4.2), generalised to N queries: each targeted
+      // query's controller sees its own observed bound, and the strictest
+      // requirement (max budget) drives the sample size.
+      if (!feedback_.empty()) {
+        std::vector<double> bounds;
+        bounds.reserve(feedback_sinks_.size());
+        for (const std::size_t sink : feedback_sinks_) {
+          bounds.push_back(output.queries[sink].observed_relative_bound);
+        }
+        slide_budget_.store(feedback_.update(bounds),
                             std::memory_order_relaxed);
         fed_back = true;
       }
     }
   }
-  if (!fed_back && config_.evaluate &&
+  if (!fed_back && config_.evaluate && feedback_.empty() &&
       config_.budget.kind != estimation::BudgetKind::kRelativeError) {
-    // Non-accuracy budgets: re-derive the sample size from the cost
+    // No accuracy target anywhere: re-derive the sample size from the cost
     // function using the freshest arrival statistics.
     slide_budget_.store(
         std::max<std::size_t>(

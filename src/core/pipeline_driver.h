@@ -3,10 +3,13 @@
 // StreamApprox processes a stream as a sequence of event-time slides; for
 // each slide it must (1) hold an OASRS sampler while the slide is open,
 // (2) close the slide once the low-watermark passes its end, turning the
-// sample into per-stratum summary cells, (3) maintain the per-slide
-// histogram ring for approximate HISTOGRAM queries, (4) assemble closed
-// slides into sliding windows and evaluate the query, and (5) feed the
-// observed error bound back into the sample budget (§4.2 adaptive feedback).
+// sample into per-stratum summary cells, (3) assemble closed slides into
+// sliding windows, and (4) fan each assembled window out to every registered
+// QuerySink (core/query.h), whose observed error bounds feed back into the
+// sample budget (§4.2 adaptive feedback, strictest query wins). The driver
+// itself is lifecycle-only: what gets evaluated — which aggregations, which
+// histograms, at which confidence — lives entirely in the query registry,
+// so N concurrent queries ride one ingested, sampled, windowed stream.
 //
 // That lifecycle used to live inline in StreamApprox::run(); it is extracted
 // here so three execution paths can share it:
@@ -27,9 +30,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -44,31 +47,45 @@
 
 namespace streamapprox::core {
 
-/// Per-window output delivered to the user: the estimate with its error
-/// bound plus the sampling effort that produced it.
+/// Per-window output delivered to the user: every registered query's
+/// evaluated result plus the sampling effort that produced them. The
+/// sampling counters are per WINDOW, not per query — the stream is sampled
+/// once regardless of how many queries are registered.
 struct WindowOutput {
+  /// The first registered query's estimate (the single query of a legacy
+  /// config); `queries` carries every registered query's output.
   WindowEstimate estimate;
   std::uint64_t records_seen = 0;     ///< Σ C_i in the window
   std::uint64_t records_sampled = 0;  ///< Σ Y_i in the window
   std::size_t budget_in_force = 0;    ///< per-slide sample budget used
-  /// Population-scale value histogram (present when the config asked for
-  /// one): bucket masses estimate full-population counts.
+  /// The first registered HISTOGRAM query's histogram (the legacy config's
+  /// optional histogram): bucket masses estimate full-population counts.
   std::optional<Histogram> histogram;
+  /// Every registered query's output, in registration order.
+  std::vector<QueryOutput> queries;
 };
 
 /// Configuration of the slide lifecycle.
 struct PipelineDriverConfig {
-  /// The streaming query evaluated per window.
+  /// The registered queries evaluated per window. When empty (and `evaluate`
+  /// is true) the legacy single-query fields below are mapped onto a
+  /// one-entry set: `query` (+ `histogram` when set) at confidence `z`.
+  QuerySet queries;
+  /// Legacy single streaming query, used only when `queries` is empty.
   QuerySpec query{};
-  /// The user's query budget (fraction / latency / tokens / accuracy).
+  /// The user's query budget (fraction / latency / tokens / accuracy). An
+  /// accuracy budget becomes the default target of registered aggregate
+  /// queries that carry no explicit per-query target.
   estimation::QueryBudget budget = estimation::QueryBudget::fraction(0.6);
   /// Sliding-window geometry.
   engine::WindowConfig window{};
   /// Per-record query cost model, charged against sampled items at close.
   engine::QueryCost query_cost{};
-  /// Confidence (standard deviations) for bounds and the feedback loop.
+  /// Default confidence (standard deviations) for bounds and the feedback
+  /// loop; individual queries may override it per sink.
   double z = 2.0;
-  /// Optional approximate HISTOGRAM query (§3.2).
+  /// Legacy optional approximate HISTOGRAM query (§3.2), used only when
+  /// `queries` is empty.
   std::optional<estimation::HistogramSpec> histogram;
   /// RNG seed; per-slide sampler seeds are derived deterministically.
   std::uint64_t seed = 2017;
@@ -181,12 +198,11 @@ class PipelineDriver {
   /// Pads empty closed slides so `slide` becomes the next to close.
   void pad_until(std::int64_t slide);
 
-  /// The shared lifecycle tail: cells (+ optional histogram sample) of one
-  /// closed slide go through the histogram ring, the window assembler, query
-  /// evaluation and the feedback loop.
-  void complete_slide(
-      std::vector<estimation::StratumSummary> cells,
-      const sampling::StratifiedSample<engine::Record>* sample_for_histogram);
+  /// The shared lifecycle tail: cells (+ the materialised sample when one
+  /// exists) of one closed slide go through every registered sink's slide
+  /// hook, the window assembler, the query fan-out and the feedback loop.
+  void complete_slide(std::vector<estimation::StratumSummary> cells,
+                      const sampling::StratifiedSample<engine::Record>* sample);
 
   PipelineDriverConfig config_;
   OutputFn on_output_;
@@ -194,14 +210,21 @@ class PipelineDriver {
 
   engine::SlidingWindowAssembler assembler_;
   estimation::CostFunction cost_function_;
-  estimation::FeedbackController feedback_;
+  /// One controller per accuracy-targeted query; budget = max across them.
+  estimation::FeedbackBank feedback_;
   std::atomic<std::size_t> slide_budget_;
+
+  /// The query registry in execution order (cloned from the config's set, or
+  /// synthesised from the legacy single-query fields when that set is empty).
+  std::vector<std::unique_ptr<QuerySink>> sinks_;
+  /// Indices into `sinks_` of the queries driving feedback controllers, in
+  /// controller order.
+  std::vector<std::size_t> feedback_sinks_;
 
   std::map<std::int64_t, Sampler> open_slides_;
   std::optional<std::int64_t> next_to_close_;
   bool closed_any_ = false;
 
-  std::deque<Histogram> slide_histograms_;
   std::uint64_t last_slide_seen_ = 0;
   std::vector<estimation::StratumSummary> last_cells_;
   std::uint64_t windows_emitted_ = 0;

@@ -1,7 +1,9 @@
 #include "core/query.h"
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "common/stats.h"
 #include "estimation/estimators.h"
@@ -27,30 +29,145 @@ ApproxResult aggregate(const std::vector<StratumSummary>& cells,
 
 }  // namespace
 
+// ------------------------------------------------------------ AggregateSink
+
+QueryOutput AggregateSink::evaluate(const engine::WindowResult& window) {
+  QueryOutput output;
+  output.name = name_;
+  output.z = resolved_z_;
+  output.estimate = evaluate_window(window, spec_);
+  output.observed_relative_bound =
+      output.estimate.overall.relative_bound(resolved_z_);
+  return output;
+}
+
+std::unique_ptr<QuerySink> AggregateSink::clone() const {
+  auto sink = std::make_unique<AggregateSink>(name_, spec_);
+  sink->z_ = z_;
+  sink->target_ = target_;
+  return sink;
+}
+
+// ------------------------------------------------------------ HistogramSink
+
+void HistogramSink::bind(const engine::WindowConfig& window,
+                         double default_z) {
+  QuerySink::bind(window, default_z);
+  slides_per_window_ = std::max<std::size_t>(1, window.slides_per_window());
+  ring_.clear();
+}
+
+void HistogramSink::on_slide(
+    const std::vector<estimation::StratumSummary>& cells,
+    const sampling::StratifiedSample<engine::Record>* sample) {
+  (void)cells;
+  // Per-slide weighted histograms; the window histogram is the merge of its
+  // slides'. Cells-only paths carry no values, so they contribute an empty
+  // slide histogram (the ring must still advance to stay window-aligned).
+  if (sample != nullptr) {
+    ring_.push_back(estimation::weighted_histogram(
+        *sample, engine::RecordValue{}, spec_));
+  } else {
+    ring_.emplace_back(spec_.lo, spec_.hi, spec_.buckets);
+  }
+  if (ring_.size() > slides_per_window_) ring_.erase(ring_.begin());
+}
+
+QueryOutput HistogramSink::evaluate(const engine::WindowResult& window) {
+  QueryOutput output;
+  output.name = name_;
+  output.z = resolved_z_;
+  output.estimate.window_start_us = window.window_start_us;
+  output.estimate.window_end_us = window.window_end_us;
+  // The histogram's mass estimates full-population counts; the matching
+  // point estimate is the weighted COUNT the mass speaks for. COUNT's
+  // variance is identically zero under Eq.-1 weights, so the feedback term
+  // uses the SUM bound instead — the accuracy budget is defined as the
+  // relative error of SUM (estimation::BudgetKind::kRelativeError), and it
+  // actually responds to the sample size.
+  output.estimate.overall = estimation::estimate_count(window.cells);
+  output.observed_relative_bound =
+      estimation::estimate_sum(window.cells).relative_bound(resolved_z_);
+  Histogram merged(spec_.lo, spec_.hi, spec_.buckets);
+  for (const auto& slide : ring_) merged.merge(slide);
+  output.histogram = std::move(merged);
+  return output;
+}
+
+std::unique_ptr<QuerySink> HistogramSink::clone() const {
+  auto sink = std::make_unique<HistogramSink>(name_, spec_);
+  sink->z_ = z_;
+  sink->target_ = target_;
+  return sink;
+}
+
+// ----------------------------------------------------------------- QuerySet
+
+QuerySet& QuerySet::operator=(const QuerySet& other) {
+  if (this != &other) sinks_ = other.clone_sinks();
+  return *this;
+}
+
+QuerySet& QuerySet::add(std::unique_ptr<QuerySink> sink) {
+  sinks_.push_back(std::move(sink));
+  return *this;
+}
+
+QuerySet& QuerySet::aggregate(std::string name, QuerySpec spec,
+                              std::optional<double> z,
+                              std::optional<double> accuracy_target) {
+  auto sink = std::make_unique<AggregateSink>(std::move(name), spec);
+  if (z) sink->set_z(*z);
+  if (accuracy_target) sink->set_accuracy_target(*accuracy_target);
+  return add(std::move(sink));
+}
+
+QuerySet& QuerySet::histogram(std::string name,
+                              estimation::HistogramSpec spec,
+                              std::optional<double> z) {
+  auto sink = std::make_unique<HistogramSink>(std::move(name), spec);
+  if (z) sink->set_z(*z);
+  return add(std::move(sink));
+}
+
+std::vector<std::unique_ptr<QuerySink>> QuerySet::clone_sinks() const {
+  std::vector<std::unique_ptr<QuerySink>> clones;
+  clones.reserve(sinks_.size());
+  for (const auto& sink : sinks_) clones.push_back(sink->clone());
+  return clones;
+}
+
+// --------------------------------------------------------------- evaluation
+
+WindowEstimate evaluate_window(const engine::WindowResult& window,
+                               const QuerySpec& query) {
+  WindowEstimate estimate;
+  estimate.window_start_us = window.window_start_us;
+  estimate.window_end_us = window.window_end_us;
+  estimate.overall = aggregate(window.cells, query.aggregation);
+  if (query.per_stratum) {
+    // Partition the cells by stratum, keeping deterministic (sorted) group
+    // order, then estimate each group independently.
+    std::map<sampling::StratumId, std::vector<StratumSummary>> by_stratum;
+    for (const auto& cell : window.cells) {
+      by_stratum[cell.stratum].push_back(cell);
+    }
+    estimate.groups.reserve(by_stratum.size());
+    for (const auto& [stratum, cells] : by_stratum) {
+      estimate.groups.emplace_back(stratum,
+                                   aggregate(cells, query.aggregation));
+    }
+  }
+  return estimate;
+}
+
 std::vector<WindowEstimate> evaluate_windows(
     const std::vector<engine::WindowResult>& windows,
     const QuerySpec& query) {
   std::vector<WindowEstimate> estimates;
   estimates.reserve(windows.size());
   for (const auto& window : windows) {
-    WindowEstimate estimate;
-    estimate.window_start_us = window.window_start_us;
-    estimate.window_end_us = window.window_end_us;
-    estimate.overall = aggregate(window.cells, query.aggregation);
-    if (query.per_stratum) {
-      // Partition the cells by stratum, keeping deterministic (sorted) group
-      // order, then estimate each group independently.
-      std::map<sampling::StratumId, std::vector<StratumSummary>> by_stratum;
-      for (const auto& cell : window.cells) {
-        by_stratum[cell.stratum].push_back(cell);
-      }
-      estimate.groups.reserve(by_stratum.size());
-      for (const auto& [stratum, cells] : by_stratum) {
-        estimate.groups.emplace_back(stratum,
-                                     aggregate(cells, query.aggregation));
-      }
-    }
-    estimates.push_back(std::move(estimate));
+    estimates.push_back(evaluate_window(window, query));
   }
   return estimates;
 }

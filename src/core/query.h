@@ -1,17 +1,28 @@
 // The approximate linear-query model (paper §3.2: "our OASRS sampling
 // algorithm supports any types of approximate linear queries ... sum,
-// average, count, histogram"). A query turns a window's sample cells into
-// an overall estimate and, optionally, per-stratum group estimates (the
-// case studies group by protocol / borough).
+// average, count, histogram") and the query registry that executes MANY such
+// queries over one sampled stream.
+//
+// A query turns a window's sample cells into an overall estimate and,
+// optionally, per-stratum group estimates (the case studies group by
+// protocol / borough). The registry side generalises this from "one query
+// per run" to N concurrent queries: the stream is ingested, exchanged,
+// sampled and windowed ONCE, and every registered QuerySink evaluates the
+// same assembled windows — the sample-once / answer-many economics that is
+// the approximate-analytics value proposition.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "engine/record.h"
 #include "engine/window.h"
 #include "estimation/approx_result.h"
+#include "estimation/histogram_query.h"
 
 namespace streamapprox::core {
 
@@ -35,6 +46,179 @@ struct WindowEstimate {
   std::vector<std::pair<sampling::StratumId, estimation::ApproxResult>>
       groups;
 };
+
+/// One registered query's evaluated output for one window.
+struct QueryOutput {
+  /// The name the query was registered under.
+  std::string name;
+  WindowEstimate estimate;
+  /// Population-scale value histogram (HISTOGRAM queries only).
+  std::optional<Histogram> histogram;
+  /// Confidence (standard deviations) this query's bounds were computed at.
+  double z = 2.0;
+  /// The observed relative error bound at `z` — this query's term in the
+  /// adaptive feedback loop.
+  double observed_relative_bound = 0.0;
+};
+
+/// A registered query: evaluates each assembled window's cells into a
+/// QueryOutput, owning its own confidence and (optionally) its own accuracy
+/// target. Sinks may be stateful across slides (the HISTOGRAM slide ring),
+/// so they are cloneable: a QuerySet stored in a config seeds any number of
+/// independent runs, each starting from fresh sink state.
+class QuerySink {
+ public:
+  explicit QuerySink(std::string name) : name_(std::move(name)) {}
+  virtual ~QuerySink() = default;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Per-query confidence (standard deviations): bounds and the feedback
+  /// term of THIS query use it, so a 95 %-confidence SUM can coexist with a
+  /// 99 %-confidence MEAN. Unset inherits the config-level default.
+  void set_z(double z) { z_ = z; }
+
+  /// Per-query relative-error target: when set, this query drives its own
+  /// feedback controller, and the strictest registered target wins (the
+  /// budget in force is the max across controllers).
+  void set_accuracy_target(double target) { target_ = target; }
+
+  /// Resolved confidence (valid after bind()).
+  double z() const noexcept { return resolved_z_; }
+
+  /// Called once by the driver before any slide: window geometry plus the
+  /// config-level confidence default.
+  virtual void bind(const engine::WindowConfig& window, double default_z) {
+    (void)window;
+    resolved_z_ = z_.value_or(default_z);
+  }
+
+  /// Called for EVERY closed slide in order (empty padded slides included),
+  /// before window assembly — the hook for sinks that need slide-granular
+  /// state. `sample` is the materialised stratified sample when one exists
+  /// (live OASRS paths) and null on pre-summarised cells paths.
+  virtual void on_slide(
+      const std::vector<estimation::StratumSummary>& cells,
+      const sampling::StratifiedSample<engine::Record>* sample) {
+    (void)cells;
+    (void)sample;
+  }
+
+  /// Evaluates one assembled window.
+  virtual QueryOutput evaluate(const engine::WindowResult& window) = 0;
+
+  /// The relative-error target this query contributes to the feedback loop.
+  /// `fallback` carries the config-level accuracy budget (nullopt when the
+  /// run's budget is not accuracy-kind). Default: explicit target, else the
+  /// fallback.
+  virtual std::optional<double> accuracy_target(
+      std::optional<double> fallback) const {
+    return target_ ? target_ : fallback;
+  }
+
+  /// Produces an UNBOUND sink with the same configuration (fresh runtime
+  /// state); the driver clones the registered set at construction.
+  virtual std::unique_ptr<QuerySink> clone() const = 0;
+
+ protected:
+  std::string name_;
+  std::optional<double> z_;
+  std::optional<double> target_;
+  double resolved_z_ = 2.0;
+};
+
+/// SUM / MEAN / COUNT over all strata or per stratum — stateless across
+/// slides; the legacy single-`QuerySpec` path maps onto one of these.
+class AggregateSink : public QuerySink {
+ public:
+  AggregateSink(std::string name, QuerySpec spec)
+      : QuerySink(std::move(name)), spec_(spec) {}
+
+  const QuerySpec& spec() const noexcept { return spec_; }
+
+  QueryOutput evaluate(const engine::WindowResult& window) override;
+  std::unique_ptr<QuerySink> clone() const override;
+
+ private:
+  QuerySpec spec_;
+};
+
+/// Approximate HISTOGRAM query (§3.2): keeps the per-slide weighted
+/// histograms of the last window's worth of slides and merges them per
+/// window. Its point estimate is the weighted COUNT the histogram mass
+/// speaks for. Needs the materialised sample, so slides closed through the
+/// cells-only path contribute empty histograms.
+class HistogramSink : public QuerySink {
+ public:
+  HistogramSink(std::string name, estimation::HistogramSpec spec)
+      : QuerySink(std::move(name)), spec_(spec) {}
+
+  const estimation::HistogramSpec& spec() const noexcept { return spec_; }
+
+  void bind(const engine::WindowConfig& window, double default_z) override;
+  void on_slide(
+      const std::vector<estimation::StratumSummary>& cells,
+      const sampling::StratifiedSample<engine::Record>* sample) override;
+  QueryOutput evaluate(const engine::WindowResult& window) override;
+
+  /// Histograms never inherit the config-level accuracy budget — only an
+  /// explicit per-query target registers a feedback controller (the legacy
+  /// mapping must keep exactly one controller: the aggregate query's).
+  std::optional<double> accuracy_target(
+      std::optional<double> fallback) const override {
+    (void)fallback;
+    return target_;
+  }
+
+  std::unique_ptr<QuerySink> clone() const override;
+
+ private:
+  estimation::HistogramSpec spec_;
+  std::size_t slides_per_window_ = 1;
+  std::vector<Histogram> ring_;  // oldest first, at most slides_per_window_
+};
+
+/// The set of queries registered for one run. Copyable (copies deep-clone
+/// the sinks) so it can live in a by-value config; the driver clones it once
+/// more at construction so concurrent runs never share sink state.
+class QuerySet {
+ public:
+  QuerySet() = default;
+  QuerySet(const QuerySet& other) { *this = other; }
+  QuerySet& operator=(const QuerySet& other);
+  QuerySet(QuerySet&&) noexcept = default;
+  QuerySet& operator=(QuerySet&&) noexcept = default;
+
+  /// Registers a sink; returns *this for chaining.
+  QuerySet& add(std::unique_ptr<QuerySink> sink);
+
+  /// Convenience: registers an AggregateSink. `z` overrides the config-level
+  /// confidence for this query; `accuracy_target` gives it its own feedback
+  /// controller.
+  QuerySet& aggregate(std::string name, QuerySpec spec,
+                      std::optional<double> z = std::nullopt,
+                      std::optional<double> accuracy_target = std::nullopt);
+
+  /// Convenience: registers a HistogramSink.
+  QuerySet& histogram(std::string name, estimation::HistogramSpec spec,
+                      std::optional<double> z = std::nullopt);
+
+  bool empty() const noexcept { return sinks_.empty(); }
+  std::size_t size() const noexcept { return sinks_.size(); }
+  const std::vector<std::unique_ptr<QuerySink>>& sinks() const noexcept {
+    return sinks_;
+  }
+
+  /// Fresh unbound clones of every registered sink, in registration order.
+  std::vector<std::unique_ptr<QuerySink>> clone_sinks() const;
+
+ private:
+  std::vector<std::unique_ptr<QuerySink>> sinks_;
+};
+
+/// Evaluates the query over one completed window.
+WindowEstimate evaluate_window(const engine::WindowResult& window,
+                               const QuerySpec& query);
 
 /// Evaluates the query over every completed window of a run.
 std::vector<WindowEstimate> evaluate_windows(

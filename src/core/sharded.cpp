@@ -28,8 +28,12 @@
 //                    stratum hash) sends each stratum to exactly one worker.
 //
 // The adaptive feedback loop still works: the merger re-tunes the driver's
-// budget as windows complete, and workers read the atomic budget when they
-// open samplers for new slides.
+// budget as windows complete (max across every registered query's accuracy
+// target — see core/query.h), and workers read the atomic budget when they
+// open samplers for new slides. Query evaluation itself lives entirely
+// behind the driver's query registry, so the sharded data plane is
+// byte-for-byte the same whether one query or N are registered: every
+// record is exchanged, sampled and merged exactly once.
 #include <atomic>
 #include <chrono>
 #include <functional>

@@ -19,6 +19,7 @@ StreamApprox::StreamApprox(ingest::Broker& broker, StreamApproxConfig config)
 
 PipelineDriverConfig StreamApprox::driver_config() const {
   PipelineDriverConfig driver;
+  driver.queries = config_.queries;
   driver.query = config_.query;
   driver.budget = config_.budget;
   driver.window = config_.window;

@@ -1,9 +1,12 @@
 // The StreamApprox system facade — the component diagram of paper Fig. 1/3
 // wired together for live operation: a Kafka-like topic feeds the sampling
 // module (OASRS); the virtual cost function translates the user's query
-// budget into a sample size; the error-estimation module computes rigorous
-// error bounds per window; and the adaptive feedback loop re-tunes the
-// sample size whenever the bound exceeds the accuracy target.
+// budget into a sample size; the query registry fans every assembled window
+// out to N registered queries (core/query.h) whose error bounds are rigorous
+// per window; and the adaptive feedback loop re-tunes the sample size
+// whenever any registered accuracy target's bound is exceeded (the
+// strictest query wins). The stream is ingested, sampled and windowed ONCE
+// however many queries are registered.
 //
 // Two execution modes share the slide lifecycle in core/pipeline_driver.h:
 //
@@ -42,7 +45,13 @@ namespace streamapprox::core {
 struct StreamApproxConfig {
   /// Broker topic to consume.
   std::string topic;
-  /// The streaming query to execute.
+  /// The registered queries, evaluated concurrently over ONE sampled stream
+  /// (ingested, exchanged, sampled and windowed once; every WindowOutput
+  /// carries all of their results in `WindowOutput::queries`). When empty,
+  /// the legacy single-query fields below (`query`, `histogram`, `z`) map
+  /// onto a one-entry set for backward compatibility.
+  QuerySet queries;
+  /// Legacy single streaming query, used only when `queries` is empty.
   QuerySpec query{};
   /// The user's query budget (fraction / latency / tokens / accuracy).
   estimation::QueryBudget budget = estimation::QueryBudget::fraction(0.6);
@@ -80,12 +89,15 @@ struct StreamApproxConfig {
   /// clock; an idle partition that wakes up re-gates (its records may be
   /// partly late-dropped, as with any late data).
   std::int64_t idle_partition_timeout_ms = 1000;
-  /// Confidence (in standard deviations) used when reporting error bounds
-  /// and when driving the feedback loop; the paper's default is 2 (95 %).
+  /// Default confidence (in standard deviations) used when reporting error
+  /// bounds and when driving the feedback loop; the paper's default is 2
+  /// (95 %). Registered queries may override it per sink, so a 95 %-
+  /// confidence SUM can coexist with a 99 %-confidence MEAN.
   double z = 2.0;
-  /// Optional approximate HISTOGRAM query (§3.2): when set, every window
-  /// output carries a weighted histogram of the sampled values estimating
-  /// the full-population value distribution.
+  /// Legacy optional approximate HISTOGRAM query (§3.2), used only when
+  /// `queries` is empty: when set, every window output carries a weighted
+  /// histogram of the sampled values estimating the full-population value
+  /// distribution.
   std::optional<estimation::HistogramSpec> histogram;
   /// RNG seed.
   std::uint64_t seed = 2017;

@@ -36,9 +36,11 @@ std::size_t partitions_of(const SystemConfig& config) {
 }
 
 /// A PipelineDriver in raw-window mode: the evaluation harness computes its
-/// own accuracy metrics, so windows are collected unevaluated. Both engine
-/// paths below run their slide lifecycle through this shared driver instead
-/// of each keeping a private window assembler.
+/// own accuracy metrics, so windows are collected unevaluated — the query
+/// registry is bypassed entirely (no sinks are instantiated) and the timed
+/// loop stays free of evaluation work. Both engine paths below run their
+/// slide lifecycle through this shared driver instead of each keeping a
+/// private window assembler.
 PipelineDriver make_eval_driver(const engine::WindowConfig& window,
                                 StreamRunResult& result) {
   PipelineDriverConfig config;

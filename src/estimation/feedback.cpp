@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace streamapprox::estimation {
 
@@ -31,6 +32,39 @@ std::size_t FeedbackController::update(double observed_relative_bound) {
   budget_ = std::clamp(static_cast<std::size_t>(std::llround(next)),
                        config_.min_budget, config_.max_budget);
   return budget_;
+}
+
+FeedbackBank::FeedbackBank(FeedbackConfig base, std::size_t initial_budget)
+    : base_(base), initial_budget_(initial_budget) {}
+
+std::size_t FeedbackBank::add_target(double target_relative_error) {
+  FeedbackConfig config = base_;
+  config.target_relative_error = target_relative_error;
+  controllers_.emplace_back(config, initial_budget_);
+  return controllers_.size() - 1;
+}
+
+std::size_t FeedbackBank::update(const std::vector<double>& observed_bounds) {
+  if (observed_bounds.size() != controllers_.size()) {
+    // A missing bound would read as "perfectly accurate" and ratchet that
+    // controller's budget toward min_budget — fail loudly instead.
+    throw std::invalid_argument(
+        "FeedbackBank::update: one observed bound per registered target");
+  }
+  std::size_t max_budget = 0;
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    max_budget = std::max(max_budget, controllers_[i].update(observed_bounds[i]));
+  }
+  return controllers_.empty() ? initial_budget_ : max_budget;
+}
+
+std::size_t FeedbackBank::budget() const noexcept {
+  if (controllers_.empty()) return initial_budget_;
+  std::size_t max_budget = 0;
+  for (const auto& controller : controllers_) {
+    max_budget = std::max(max_budget, controller.budget());
+  }
+  return max_budget;
 }
 
 }  // namespace streamapprox::estimation

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace streamapprox::estimation {
 
@@ -38,6 +39,41 @@ class FeedbackController {
  private:
   FeedbackConfig config_;
   std::size_t budget_;
+};
+
+/// Multi-query feedback: one FeedbackController per accuracy-targeted query,
+/// resolved into a single per-interval budget as the MAX across controllers
+/// — the strictest registered query drives the sample size, because the
+/// stream is sampled once no matter how many queries consume it.
+class FeedbackBank {
+ public:
+  /// `base` supplies the controller tuning (smoothing, step, clamps); each
+  /// registered target overrides base.target_relative_error.
+  FeedbackBank(FeedbackConfig base, std::size_t initial_budget);
+
+  /// Registers a controller for one query's relative-error target; returns
+  /// its index (the order observed bounds must be reported in).
+  std::size_t add_target(double target_relative_error);
+
+  /// True when no query registered an accuracy target.
+  bool empty() const noexcept { return controllers_.empty(); }
+
+  /// Number of registered controllers.
+  std::size_t size() const noexcept { return controllers_.size(); }
+
+  /// Reports every controller's observed relative bound for the last
+  /// interval (`observed_bounds[i]` feeds controller i; sizes must match)
+  /// and returns the max re-tuned budget.
+  std::size_t update(const std::vector<double>& observed_bounds);
+
+  /// The budget currently in force: max across controllers, or the initial
+  /// budget when the bank is empty.
+  std::size_t budget() const noexcept;
+
+ private:
+  FeedbackConfig base_;
+  std::size_t initial_budget_;
+  std::vector<FeedbackController> controllers_;
 };
 
 }  // namespace streamapprox::estimation

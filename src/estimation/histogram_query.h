@@ -3,7 +3,10 @@
 // adding every sampled item with its stratum weight W_i statistically
 // recreates the population histogram. Unlike SUM/MEAN, histograms need the
 // sampled values themselves, so estimation happens where the sample is
-// still materialised (sampler/facade), not on summary cells.
+// still materialised: core::HistogramSink's slide hook receives the closed
+// slide's stratified sample and keeps a window-aligned ring of per-slide
+// histograms (register one via core::QuerySet::histogram, or the legacy
+// StreamApproxConfig::histogram field).
 #pragma once
 
 #include <cstddef>

@@ -28,10 +28,10 @@ Exchange::Exchange(Broker& broker, const std::string& topic,
 
 void Exchange::push_channel(std::size_t w, BatchPtr batch) {
   // Ring full means the downstream worker is behind: backpressure by
-  // waiting. try_push_keep leaves the batch intact on failure.
-  while (!rings_[w]->try_push_keep(batch)) {
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
+  // parking on the ring's condvar until the consumer frees a slot — no
+  // sleep-loop spinning while blocked. The ring is closed only by this
+  // thread after run() ends, so a false return is unreachable here.
+  rings_[w]->push(std::move(batch));
 }
 
 void Exchange::run() {

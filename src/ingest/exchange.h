@@ -106,7 +106,8 @@ class Exchange {
   std::size_t batches_allocated() const { return pool_.allocated(); }
 
  private:
-  /// Blocks until channel `w` accepts `batch` (backpressure).
+  /// Blocks until channel `w` accepts `batch` (condvar-backed backpressure:
+  /// the exchange thread parks while the worker is behind).
   void push_channel(std::size_t w, BatchPtr batch);
 
   ExchangeConfig config_;

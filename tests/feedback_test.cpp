@@ -80,5 +80,60 @@ TEST(Feedback, ConvergesToTargetBudget) {
   EXPECT_LE(c / std::sqrt(static_cast<double>(budget)), target * 1.1);
 }
 
+// --------------------------------------------------------------------------
+// FeedbackBank: one controller per accuracy-targeted query; the budget in
+// force is the max across controllers (multi-query execution samples the
+// stream once, so the strictest query pays for everyone).
+
+TEST(FeedbackBank, EmptyBankKeepsInitialBudget) {
+  FeedbackBank bank(FeedbackConfig{}, 777);
+  EXPECT_TRUE(bank.empty());
+  EXPECT_EQ(bank.budget(), 777u);
+  EXPECT_EQ(bank.update({}), 777u);
+}
+
+TEST(FeedbackBank, SingleTargetMatchesPlainController) {
+  // The legacy single-query path must be reproduced exactly: one target in
+  // the bank follows the standalone controller's trajectory bit for bit.
+  FeedbackController controller(config_with_target(0.01), 1024);
+  FeedbackBank bank(FeedbackConfig{}, 1024);
+  bank.add_target(0.01);
+  ASSERT_EQ(bank.size(), 1u);
+  double bound = 0.05;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(bank.update({bound}), controller.update(bound));
+    bound *= 0.7;
+  }
+}
+
+TEST(FeedbackBank, StrictestTargetWins) {
+  // A loose query (happy at tiny budgets) and a strict query: the resolved
+  // budget must track the strict controller's demand.
+  FeedbackBank bank(FeedbackConfig{}, 1024);
+  bank.add_target(/*loose=*/0.5);
+  bank.add_target(/*strict=*/0.001);
+  FeedbackController strict_alone(config_with_target(0.001), 1024);
+  double bound = 0.02;
+  for (int i = 0; i < 8; ++i) {
+    // Both queries observe the same bound (same sampled stream).
+    EXPECT_EQ(bank.update({bound, bound}), strict_alone.update(bound));
+    bound *= 0.9;
+  }
+  EXPECT_GT(bank.budget(), 1024u);
+}
+
+TEST(FeedbackBank, IndependentBoundsPerTarget) {
+  // Queries may observe different bounds (e.g. different z): each controller
+  // consumes its own term and the max is returned.
+  FeedbackBank bank(FeedbackConfig{}, 1000);
+  bank.add_target(0.01);
+  bank.add_target(0.01);
+  // Query 0 is exactly on target (budget holds); query 1 is 2x over (budget
+  // quadruples, damped): the max follows query 1.
+  const std::size_t next = bank.update({0.01, 0.02});
+  FeedbackController over(config_with_target(0.01), 1000);
+  EXPECT_EQ(next, over.update(0.02));
+}
+
 }  // namespace
 }  // namespace streamapprox::estimation

@@ -105,6 +105,54 @@ TEST(WeightedHistogram, FacadeDeliversWindowHistograms) {
   EXPECT_EQ(with_histogram, windows);
 }
 
+TEST(WeightedHistogram, RegistryHistogramMatchesLegacyConfigField) {
+  // A HISTOGRAM query registered on the QuerySet and the legacy
+  // `config.histogram` field are the same sink: a seeded sequential run
+  // produces bucket-identical window histograms either way.
+  workload::SyntheticStream stream(
+      {{0, workload::Gaussian{50.0, 10.0}, 20000.0},
+       {1, workload::Gaussian{20.0, 5.0}, 20000.0}},
+      24);
+  const auto records = stream.generate(3.0);
+
+  const auto run = [&](bool via_registry) {
+    ingest::Broker broker;
+    broker.create_topic("hist", 1);
+    ingest::ReplayTool replay(broker, "hist", records, {});
+    core::StreamApproxConfig config;
+    config.topic = "hist";
+    config.budget = QueryBudget::fraction(0.2);
+    config.window = {1'000'000, 500'000};
+    if (via_registry) {
+      config.queries.aggregate("mean", {core::Aggregation::kMean, false});
+      config.queries.histogram("hist", {0.0, 100.0, 20});
+    } else {
+      config.query = {core::Aggregation::kMean, false};
+      config.histogram = HistogramSpec{0.0, 100.0, 20};
+    }
+    core::StreamApprox system(broker, config);
+    std::vector<Histogram> histograms;
+    system.run([&](const core::WindowOutput& output) {
+      ASSERT_TRUE(output.histogram.has_value());
+      histograms.push_back(*output.histogram);
+    });
+    replay.wait();
+    return histograms;
+  };
+
+  const auto legacy = run(false);
+  const auto registry = run(true);
+  ASSERT_GT(legacy.size(), 2u);
+  ASSERT_EQ(legacy.size(), registry.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    ASSERT_EQ(legacy[i].bucket_count(), registry[i].bucket_count());
+    EXPECT_EQ(legacy[i].total(), registry[i].total());
+    for (std::size_t k = 0; k < legacy[i].bucket_count(); ++k) {
+      EXPECT_EQ(legacy[i].bucket(k), registry[i].bucket(k)) << i << "/" << k;
+    }
+  }
+}
+
 TEST(WeightedHistogram, QuantilesFromWeightedSampleMatchPopulation) {
   streamapprox::Rng rng(29);
   Histogram exact(0.0, 200.0, 50);

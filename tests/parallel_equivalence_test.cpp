@@ -278,6 +278,66 @@ TEST(ParallelEquivalence, IdlePartitionResumesWithoutDroppingLiveRecords) {
   }
 }
 
+TEST(ParallelEquivalence, RegistrySingleQueryMatchesLegacyWhenSharded) {
+  // Backward compatibility on the exchange-sharded path. Sampled counts are
+  // timing-dependent in sharded mode (workers pick up the atomic budget when
+  // they first open a slide, racing the merger's re-tuning — a pre-existing
+  // property, registry or not), so the equivalence contract here is the
+  // sharded one: identical records_seen per window and estimates that agree
+  // within their error bounds. Bit-identity is asserted on the sequential
+  // path (pipeline_driver_test.RegistrySingleQueryBitIdenticalToLegacy).
+  const auto records = make_stream(3.0, 20000.0, 15);
+  const auto legacy = run_mode(records, 4, 2);
+  const auto registry =
+      run_mode(records, 4, 2, [](StreamApproxConfig& c) {
+        c.queries.aggregate("mean", {Aggregation::kMean, false});
+      });
+  ASSERT_GT(legacy.size(), 2u);
+  ASSERT_EQ(legacy.size(), registry.size());
+  std::size_t within = 0;
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].records_seen, registry[i].records_seen);
+    EXPECT_EQ(legacy[i].estimate.window_end_us,
+              registry[i].estimate.window_end_us);
+    const auto& a = legacy[i].estimate.overall;
+    const auto& b = registry[i].estimate.overall;
+    if (std::abs(a.estimate - b.estimate) <=
+        a.error_bound(3.0) + b.error_bound(3.0)) {
+      ++within;
+    }
+  }
+  EXPECT_GE(within, legacy.size() - 1);  // slack for a tiny edge window
+}
+
+TEST(ParallelEquivalence, ThreeQueriesShardedSampleTheStreamOnce) {
+  // Tentpole acceptance: >= 3 registered queries (mixed aggregations, one
+  // per-stratum, one histogram) over one topic, on the exchange-sharded
+  // path. The per-window sampling counters must equal the sequential
+  // single-query run's — the stream is ingested, exchanged, sampled and
+  // windowed exactly once no matter how many queries are registered.
+  const auto records = make_stream(3.0, 20000.0, 16);
+  const auto register_three = [](StreamApproxConfig& c) {
+    c.queries.aggregate("sum by substream", {Aggregation::kSum, true});
+    c.queries.aggregate("overall mean", {Aggregation::kMean, false});
+    c.queries.histogram("values", {0.0, 12000.0, 24});
+  };
+  const auto sequential_single = run_mode(records, 1, 2);
+  const auto sharded_multi = run_mode(records, 8, 2, register_three);
+
+  ASSERT_GT(sequential_single.size(), 2u);
+  ASSERT_EQ(sequential_single.size(), sharded_multi.size());
+  for (std::size_t i = 0; i < sequential_single.size(); ++i) {
+    ASSERT_EQ(sharded_multi[i].queries.size(), 3u);
+    EXPECT_EQ(sequential_single[i].records_seen,
+              sharded_multi[i].records_seen)
+        << "window " << i;
+    EXPECT_EQ(sequential_single[i].estimate.window_end_us,
+              sharded_multi[i].estimate.window_end_us)
+        << "window " << i;
+    EXPECT_TRUE(sharded_multi[i].queries[2].histogram.has_value());
+  }
+}
+
 TEST(ParallelEquivalence, ShardedAdaptiveBudgetStillGrows) {
   const auto records = make_stream(5.0, 30000.0, 11);
   ingest::Broker broker;

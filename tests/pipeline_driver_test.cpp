@@ -252,6 +252,194 @@ TEST(PipelineDriver, FractionBudgetRetunesFromArrivals) {
   EXPECT_GT(driver.current_budget(), 0u);
 }
 
+std::vector<Record> mixed_stream(int count) {
+  std::vector<Record> records;
+  records.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    records.push_back(Record{static_cast<sampling::StratumId>(i % 3),
+                             1.0 + i % 7, i * 250});
+  }
+  return records;
+}
+
+std::vector<WindowOutput> run_driver(PipelineDriverConfig config,
+                                     const std::vector<Record>& records) {
+  std::vector<WindowOutput> outputs;
+  PipelineDriver driver(std::move(config),
+                        [&](const WindowOutput& o) { outputs.push_back(o); });
+  driver.offer_batch(records);
+  driver.advance(records.back().event_time_us);
+  driver.finish();
+  return outputs;
+}
+
+void expect_estimates_bit_identical(const WindowEstimate& a,
+                                    const WindowEstimate& b) {
+  EXPECT_EQ(a.window_start_us, b.window_start_us);
+  EXPECT_EQ(a.window_end_us, b.window_end_us);
+  EXPECT_EQ(a.overall.estimate, b.overall.estimate);
+  EXPECT_EQ(a.overall.variance, b.overall.variance);
+  EXPECT_EQ(a.overall.population, b.overall.population);
+  EXPECT_EQ(a.overall.sample_size, b.overall.sample_size);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].first, b.groups[g].first);
+    EXPECT_EQ(a.groups[g].second.estimate, b.groups[g].second.estimate);
+    EXPECT_EQ(a.groups[g].second.variance, b.groups[g].second.variance);
+  }
+}
+
+TEST(PipelineDriver, RegistrySingleQueryBitIdenticalToLegacy) {
+  // Backward compatibility (satellite acceptance): a seeded run whose single
+  // query goes through the registry must produce bit-identical WindowOutputs
+  // to the legacy single-QuerySpec config — same sampling, same estimates,
+  // same feedback-driven budget trajectory, same histogram.
+  const auto records = mixed_stream(30000);
+
+  auto legacy = small_window_config();
+  legacy.query = {Aggregation::kSum, /*per_stratum=*/true};
+  legacy.histogram = estimation::HistogramSpec{0.0, 8.0, 16};
+  legacy.budget = estimation::QueryBudget::relative_error(0.01);
+
+  auto registry = small_window_config();
+  registry.budget = estimation::QueryBudget::relative_error(0.01);
+  registry.queries.aggregate("sum", {Aggregation::kSum, true});
+  registry.queries.histogram("hist", {0.0, 8.0, 16});
+
+  const auto a = run_driver(std::move(legacy), records);
+  const auto b = run_driver(std::move(registry), records);
+
+  ASSERT_GT(a.size(), 3u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].records_seen, b[i].records_seen);
+    EXPECT_EQ(a[i].records_sampled, b[i].records_sampled);
+    EXPECT_EQ(a[i].budget_in_force, b[i].budget_in_force);
+    expect_estimates_bit_identical(a[i].estimate, b[i].estimate);
+    ASSERT_TRUE(a[i].histogram.has_value());
+    ASSERT_TRUE(b[i].histogram.has_value());
+    ASSERT_EQ(a[i].histogram->bucket_count(), b[i].histogram->bucket_count());
+    for (std::size_t k = 0; k < a[i].histogram->bucket_count(); ++k) {
+      EXPECT_EQ(a[i].histogram->bucket(k), b[i].histogram->bucket(k));
+    }
+    // The registry view carries the same results: query 0 is the aggregate,
+    // query 1 the histogram.
+    ASSERT_EQ(b[i].queries.size(), 2u);
+    expect_estimates_bit_identical(b[i].queries[0].estimate, b[i].estimate);
+    EXPECT_TRUE(b[i].queries[1].histogram.has_value());
+  }
+}
+
+TEST(PipelineDriver, MultiQuerySamplesTheStreamOnce) {
+  // Three concurrent queries (per-stratum SUM, overall MEAN, HISTOGRAM) over
+  // one driver: the stream is sampled once, so per-window seen/sampled
+  // counts — and each query's estimate — are identical to the three
+  // corresponding single-query runs with the same seed.
+  const auto records = mixed_stream(30000);
+
+  auto multi = small_window_config();
+  multi.queries.aggregate("sum/stratum", {Aggregation::kSum, true});
+  multi.queries.aggregate("mean", {Aggregation::kMean, false});
+  multi.queries.histogram("hist", {0.0, 8.0, 16});
+  const auto combined = run_driver(std::move(multi), records);
+
+  auto single_sum = small_window_config();
+  single_sum.queries.aggregate("sum/stratum", {Aggregation::kSum, true});
+  auto single_mean = small_window_config();
+  single_mean.queries.aggregate("mean", {Aggregation::kMean, false});
+  auto single_hist = small_window_config();
+  single_hist.queries.histogram("hist", {0.0, 8.0, 16});
+  const std::vector<std::vector<WindowOutput>> singles = {
+      run_driver(std::move(single_sum), records),
+      run_driver(std::move(single_mean), records),
+      run_driver(std::move(single_hist), records),
+  };
+
+  ASSERT_GT(combined.size(), 3u);
+  for (const auto& outputs : singles) {
+    ASSERT_EQ(combined.size(), outputs.size());
+  }
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    ASSERT_EQ(combined[i].queries.size(), 3u);
+    for (std::size_t q = 0; q < 3; ++q) {
+      const auto& single = singles[q][i];
+      // Sampling effort is per window, not per query: every run reports the
+      // same counts because the stream was ingested and sampled ONCE.
+      EXPECT_EQ(combined[i].records_seen, single.records_seen)
+          << "window " << i << " query " << q;
+      EXPECT_EQ(combined[i].records_sampled, single.records_sampled)
+          << "window " << i << " query " << q;
+      expect_estimates_bit_identical(combined[i].queries[q].estimate,
+                                     single.queries.front().estimate);
+    }
+  }
+}
+
+TEST(PipelineDriver, PerQueryConfidenceCoexists) {
+  // Per-query z (satellite): a 95%-confidence and a 99.7%-confidence copy of
+  // the same MEAN query report bounds in exact z ratio within one window.
+  auto config = small_window_config();
+  config.queries.aggregate("mean95", {Aggregation::kMean, false},
+                           /*z=*/2.0);
+  config.queries.aggregate("mean3sigma", {Aggregation::kMean, false},
+                           /*z=*/3.0);
+  const auto outputs = run_driver(std::move(config), mixed_stream(20000));
+
+  ASSERT_GT(outputs.size(), 1u);
+  for (const auto& output : outputs) {
+    ASSERT_EQ(output.queries.size(), 2u);
+    EXPECT_EQ(output.queries[0].z, 2.0);
+    EXPECT_EQ(output.queries[1].z, 3.0);
+    // Same estimate, same variance — only the confidence differs.
+    EXPECT_EQ(output.queries[0].estimate.overall.estimate,
+              output.queries[1].estimate.overall.estimate);
+    if (output.queries[0].observed_relative_bound > 0.0) {
+      EXPECT_DOUBLE_EQ(output.queries[1].observed_relative_bound,
+                       1.5 * output.queries[0].observed_relative_bound);
+    }
+  }
+}
+
+TEST(PipelineDriver, StrictestAccuracyTargetDrivesBudget) {
+  // Two targeted queries: the stricter (smaller) target must demand at least
+  // as large a budget as it would alone — the max-across-controllers rule.
+  const auto records = mixed_stream(40000);
+
+  auto strict_alone = small_window_config();
+  strict_alone.queries.aggregate("mean", {Aggregation::kMean, false},
+                                 std::nullopt, /*accuracy_target=*/0.001);
+  const auto strict = run_driver(std::move(strict_alone), records);
+
+  auto both = small_window_config();
+  both.queries.aggregate("loose", {Aggregation::kMean, false}, std::nullopt,
+                         /*accuracy_target=*/0.5);
+  both.queries.aggregate("mean", {Aggregation::kMean, false}, std::nullopt,
+                         /*accuracy_target=*/0.001);
+  const auto combined = run_driver(std::move(both), records);
+
+  ASSERT_EQ(strict.size(), combined.size());
+  ASSERT_GT(strict.size(), 2u);
+  for (std::size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_GE(combined[i].budget_in_force, strict[i].budget_in_force)
+        << "window " << i;
+  }
+  // And the strict target did move the budget off its initial value.
+  EXPECT_GT(combined.back().budget_in_force, combined.front().budget_in_force);
+}
+
+TEST(PipelineDriver, HistogramOnlyRegistryStillAdaptsToAccuracyBudget) {
+  // A registry holding only a HISTOGRAM query plus an accuracy budget: no
+  // sink inherits the fallback target, but adaptation must not silently
+  // die — the first query's observed bound drives one controller.
+  auto config = small_window_config();
+  config.budget = estimation::QueryBudget::relative_error(1e-6);  // very strict
+  config.queries.histogram("hist", {0.0, 8.0, 16});
+  const auto outputs = run_driver(std::move(config), mixed_stream(30000));
+  ASSERT_GT(outputs.size(), 3u);
+  // The strict target forces the budget to grow off its initial value.
+  EXPECT_GT(outputs.back().budget_in_force, outputs.front().budget_in_force);
+}
+
 TEST(PipelineDriver, ShardedSamplerConfigSplitsBudget) {
   PipelineDriver driver(small_window_config(), [](const WindowOutput&) {});
   const auto whole = driver.slide_sampler_config(7);

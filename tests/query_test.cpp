@@ -168,6 +168,130 @@ TEST(EvaluateWindows, CountQuery) {
   EXPECT_DOUBLE_EQ(estimates[0].groups[1].second.estimate, 7.0);
 }
 
+// --------------------------------------------------------------------------
+// The query registry: sinks, the set, and their lifecycle contracts.
+
+TEST(QueryRegistry, AggregateSinkMatchesEvaluateWindows) {
+  const auto window = window_of(
+      10, {cell(0, 100, 10, 50.0, 10.0), cell(1, 40, 8, 16.0, 5.0)});
+  QuerySpec spec{Aggregation::kSum, true};
+  AggregateSink sink("sum", spec);
+  sink.bind(engine::WindowConfig{1'000'000, 500'000}, 2.0);
+  auto output = sink.evaluate(window);
+
+  const auto reference = evaluate_windows({window}, spec);
+  EXPECT_EQ(output.name, "sum");
+  EXPECT_EQ(output.z, 2.0);
+  EXPECT_EQ(output.estimate.overall.estimate,
+            reference.front().overall.estimate);
+  EXPECT_EQ(output.estimate.overall.variance,
+            reference.front().overall.variance);
+  ASSERT_EQ(output.estimate.groups.size(), reference.front().groups.size());
+  EXPECT_DOUBLE_EQ(output.observed_relative_bound,
+                   output.estimate.overall.relative_bound(2.0));
+}
+
+TEST(QueryRegistry, PerQueryConfidenceOverridesDefault) {
+  AggregateSink defaulted("default-z", {Aggregation::kMean, false});
+  AggregateSink overridden("own-z", {Aggregation::kMean, false});
+  overridden.set_z(3.0);
+  defaulted.bind(engine::WindowConfig{}, 2.0);
+  overridden.bind(engine::WindowConfig{}, 2.0);
+  EXPECT_EQ(defaulted.z(), 2.0);
+  EXPECT_EQ(overridden.z(), 3.0);
+}
+
+TEST(QueryRegistry, AccuracyTargetInheritanceRules) {
+  // Aggregates inherit the config-level accuracy budget when they carry no
+  // explicit target; histograms never inherit (the legacy mapping must keep
+  // exactly one feedback controller).
+  AggregateSink plain("plain", {Aggregation::kSum, false});
+  AggregateSink targeted("targeted", {Aggregation::kSum, false});
+  targeted.set_accuracy_target(0.005);
+  HistogramSink histogram("hist", {0.0, 1.0, 10});
+
+  const std::optional<double> fallback = 0.02;
+  EXPECT_EQ(plain.accuracy_target(fallback), 0.02);
+  EXPECT_EQ(plain.accuracy_target(std::nullopt), std::nullopt);
+  EXPECT_EQ(targeted.accuracy_target(fallback), 0.005);
+  EXPECT_EQ(histogram.accuracy_target(fallback), std::nullopt);
+}
+
+TEST(QueryRegistry, HistogramSinkKeepsWindowAlignedRing) {
+  // 2 slides per window: the merged histogram must cover exactly the last
+  // two slides' samples, dropping older mass as the window slides.
+  HistogramSink sink("hist", {0.0, 10.0, 10});
+  sink.bind(engine::WindowConfig{1'000'000, 500'000}, 2.0);
+
+  const auto slide_sample = [](double value) {
+    sampling::StratifiedSample<Record> sample;
+    sampling::StratumSample<Record> stratum;
+    stratum.stratum = 0;
+    stratum.seen = 1;
+    stratum.weight = 1.0;
+    stratum.items.push_back(Record{0, value, 0});
+    sample.strata.push_back(std::move(stratum));
+    return sample;
+  };
+
+  WindowResult window;
+  window.cells = {cell(0, 1, 1, 1.0, 1.0)};
+  const auto s1 = slide_sample(1.5);
+  const auto s2 = slide_sample(2.5);
+  const auto s3 = slide_sample(3.5);
+  sink.on_slide({}, &s1);
+  sink.on_slide({}, &s2);
+  auto first = sink.evaluate(window);
+  ASSERT_TRUE(first.histogram.has_value());
+  EXPECT_DOUBLE_EQ(first.histogram->total(), 2.0);  // slides 1+2
+  EXPECT_DOUBLE_EQ(first.histogram->bucket(1), 1.0);
+
+  sink.on_slide({}, &s3);
+  auto second = sink.evaluate(window);
+  ASSERT_TRUE(second.histogram.has_value());
+  EXPECT_DOUBLE_EQ(second.histogram->total(), 2.0);  // slides 2+3
+  EXPECT_DOUBLE_EQ(second.histogram->bucket(1), 0.0);  // slide 1 aged out
+  EXPECT_DOUBLE_EQ(second.histogram->bucket(3), 1.0);
+}
+
+TEST(QueryRegistry, QuerySetCopiesDeepCloneSinks) {
+  QuerySet original;
+  original.aggregate("sum", {Aggregation::kSum, false});
+  original.histogram("hist", {0.0, 10.0, 4});
+
+  QuerySet copy = original;
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_NE(copy.sinks()[0].get(), original.sinks()[0].get());
+  EXPECT_EQ(copy.sinks()[0]->name(), "sum");
+  EXPECT_EQ(copy.sinks()[1]->name(), "hist");
+
+  // Clones are unbound and stateless: binding/feeding the copy's histogram
+  // sink must not leak state into the original (and vice versa).
+  auto clones = copy.clone_sinks();
+  ASSERT_EQ(clones.size(), 2u);
+  clones[1]->bind(engine::WindowConfig{1'000'000, 500'000}, 2.0);
+  sampling::StratifiedSample<Record> sample;
+  sampling::StratumSample<Record> stratum;
+  stratum.stratum = 0;
+  stratum.seen = 1;
+  stratum.weight = 1.0;
+  stratum.items.push_back(Record{0, 5.0, 0});
+  sample.strata.push_back(std::move(stratum));
+  clones[1]->on_slide({}, &sample);
+
+  WindowResult window;
+  window.cells = {cell(0, 1, 1, 5.0, 1.0)};
+  auto from_clone = clones[1]->evaluate(window);
+  ASSERT_TRUE(from_clone.histogram.has_value());
+  EXPECT_DOUBLE_EQ(from_clone.histogram->total(), 1.0);
+
+  auto fresh = copy.sinks()[1]->clone();
+  fresh->bind(engine::WindowConfig{1'000'000, 500'000}, 2.0);
+  auto from_fresh = fresh->evaluate(window);
+  ASSERT_TRUE(from_fresh.histogram.has_value());
+  EXPECT_DOUBLE_EQ(from_fresh.histogram->total(), 0.0);  // no slides seen
+}
+
 TEST(EvaluateWindows, CountQueryEndToEnd) {
   // COUNT estimated from OASRS weights equals the exact window population.
   std::vector<Record> records;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -121,6 +122,76 @@ TEST(SpscRing, TryPushKeepRetainsValueWhenFull) {
     }
     EXPECT_EQ(value, nullptr);
   }
+}
+
+TEST(SpscRing, BlockedPushWakesOnPop) {
+  // The condvar-backed backpressure path: a producer blocked on a full ring
+  // must park (no result yet), then complete as soon as the consumer pops.
+  SpscRing<int> ring(2);
+  int fill = 0;
+  while (ring.try_push(fill)) ++fill;  // ring now full
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(ring.push(99));
+    pushed.store(true);
+  });
+  // The push must stay blocked while the ring remains full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  ASSERT_TRUE(ring.try_pop().has_value());
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  // Everything pushed (including the blocked element) pops in FIFO order.
+  std::vector<int> rest;
+  while (auto v = ring.try_pop()) rest.push_back(*v);
+  ASSERT_FALSE(rest.empty());
+  EXPECT_EQ(rest.back(), 99);
+}
+
+TEST(SpscRing, BlockedPushStreamLosesNothing) {
+  // A fast producer using blocking push against a slow consumer: every
+  // element arrives exactly once, in order, with no spinning.
+  constexpr int kCount = 20000;
+  SpscRing<int> ring(8);
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) ASSERT_TRUE(ring.push(i));
+    ring.close();
+  });
+  int expected = 0;
+  while (true) {
+    if (auto v = ring.try_pop()) {
+      EXPECT_EQ(*v, expected++);
+    } else if (ring.drained()) {
+      break;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(SpscRing, CloseReleasesBlockedPush) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  while (true) {
+    auto value = std::make_unique<int>(1);
+    if (!ring.try_push_keep(value)) break;
+  }
+  std::atomic<bool> released{false};
+  std::thread producer([&] {
+    auto value = std::make_unique<int>(2);
+    // Closed while full: push returns false and keeps the value.
+    EXPECT_FALSE(ring.push(value));
+    EXPECT_NE(value, nullptr);
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  ring.close();
+  producer.join();
+  EXPECT_TRUE(released.load());
 }
 
 TEST(SpscRing, DrainedSemantics) {

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <functional>
+#include <vector>
+
 #include "ingest/replay.h"
 #include "workload/synthetic.h"
 
@@ -113,6 +117,61 @@ TEST(StreamApprox, AccuracyBudgetAdaptsBudgetUpward) {
   replay.wait();
   ASSERT_GE(budgets.size(), 3u);
   EXPECT_GT(budgets.back(), budgets.front());
+}
+
+TEST(StreamApprox, MultiQueryRegistrySharesOneSampledStream) {
+  // Three registered queries (mixed aggregations, one per-stratum, one
+  // histogram) over one topic: every window output carries all three
+  // results, and the sampling counters equal a single-query run's — the
+  // stream is consumed and sampled exactly once.
+  const auto records = make_stream(4.0, 20000.0, 6);
+
+  const auto run = [&](const std::function<void(StreamApproxConfig&)>& mutate) {
+    ingest::Broker broker;
+    broker.create_topic("input", 3);
+    ingest::ReplayTool replay(broker, "input", records, {});
+    auto config = base_config();
+    mutate(config);
+    StreamApprox system(broker, config);
+    std::vector<WindowOutput> outputs;
+    system.run([&](const WindowOutput& output) { outputs.push_back(output); });
+    replay.wait();
+    return outputs;
+  };
+
+  const auto multi = run([](StreamApproxConfig& config) {
+    config.queries.aggregate("sum by substream", {Aggregation::kSum, true});
+    config.queries.aggregate("overall mean", {Aggregation::kMean, false});
+    config.queries.histogram("values", {0.0, 12000.0, 24});
+  });
+  const auto single = run([](StreamApproxConfig& config) {
+    config.queries.aggregate("overall mean", {Aggregation::kMean, false});
+  });
+
+  ASSERT_GE(multi.size(), 5u);
+  ASSERT_EQ(multi.size(), single.size());
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    ASSERT_EQ(multi[i].queries.size(), 3u);
+    EXPECT_EQ(multi[i].queries[0].name, "sum by substream");
+    EXPECT_FALSE(multi[i].queries[0].estimate.groups.empty());
+    EXPECT_TRUE(multi[i].queries[1].estimate.groups.empty());
+    EXPECT_TRUE(multi[i].queries[2].histogram.has_value());
+    // Sampled once: every record is SEEN exactly once per window whether 1
+    // or 3 queries are registered. (Sampled counts and estimates are
+    // compared bit-exactly in pipeline_driver_test, which drives the driver
+    // deterministically; through the live broker the moment a slide's
+    // sampler picks up the adapting budget is poll-timing-dependent.)
+    EXPECT_EQ(multi[i].records_seen, single[i].records_seen) << "window " << i;
+    EXPECT_EQ(multi[i].estimate.window_end_us, single[i].estimate.window_end_us)
+        << "window " << i;
+    // The two runs estimate the same window mean: agreement within summed
+    // 3-sigma bounds.
+    const auto& a = multi[i].queries[1].estimate.overall;
+    const auto& b = single[i].queries[0].estimate.overall;
+    EXPECT_LE(std::abs(a.estimate - b.estimate),
+              a.error_bound(3.0) + b.error_bound(3.0))
+        << "window " << i;
+  }
 }
 
 TEST(StreamApprox, PerStratumQuery) {
