@@ -5,11 +5,14 @@
 // sampling fraction — a per-stratum SUM, an overall MEAN, and a value
 // HISTOGRAM — registered on the query registry. The stream is ingested,
 // repartitioned, sampled and windowed ONCE; every window output carries
-// all three queries' estimates with their rigorous error bounds.
+// all three queries' estimates with their rigorous error bounds. Mid-run, a
+// fourth query (COUNT) is attached to the RUNNING pipeline with its own
+// subscription channel and later detached — the dynamic query lifecycle.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
 //               ./build/example_quickstart
 #include <cstdio>
+#include <memory>
 
 #include "core/query.h"
 #include "core/stream_approx.h"
@@ -60,7 +63,19 @@ int main() {
               "SUM/substream (95% CI, top group)", "MEAN (99.7% CI vs exact)",
               "sampled");
   std::size_t index = 0;
+  // 4. Dynamic lifecycle: attach a COUNT query to the RUNNING pipeline at
+  //    window 2 and detach it at window 6. It takes effect at the next
+  //    slide-close boundary and reports only windows assembled entirely
+  //    after the attach, through its own subscription channel.
+  std::shared_ptr<core::QuerySubscription> counts;
   system.run([&](const core::WindowOutput& output) {
+    if (index == 2) {
+      counts = system.attach_query(
+          std::make_unique<core::AggregateSink>(
+              "count", core::QuerySpec{core::Aggregation::kCount, false}),
+          /*subscription_capacity=*/32);
+    }
+    if (index == 6) system.detach_query("count");
     double exact_mean = 0.0;
     for (const auto& w : exact_means) {
       if (w.window_end_us == output.estimate.window_end_us) {
@@ -98,5 +113,19 @@ int main() {
       "was ingested, sampled and windowed once.\nThe exact answers lie "
       "within the reported +/- bounds; the MEAN's bound is wider because it "
       "rides at 99.7%% confidence.\n");
+
+  if (counts) {
+    std::printf(
+        "\nDynamically attached COUNT query (windows assembled entirely "
+        "after attach, drained from its own channel):\n");
+    while (auto output = counts->poll()) {
+      const auto& count = output->queries.front();
+      std::printf("  [%4.0fs, %4.0fs)  COUNT %12.0f +/- %-8.0f\n",
+                  static_cast<double>(output->estimate.window_start_us) / 1e6,
+                  static_cast<double>(output->estimate.window_end_us) / 1e6,
+                  count.estimate.overall.estimate,
+                  count.estimate.overall.error_bound(count.z));
+    }
+  }
   return 0;
 }

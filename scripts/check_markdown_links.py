@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs tree.
+
+Scans every tracked *.md file (repo root, docs/, and any nested directory)
+for inline links/images `[text](target)` and verifies that
+
+  * relative file targets exist on disk,
+  * `#anchor` fragments (same-file or cross-file) match a heading's
+    GitHub-style slug in the target file.
+
+External links (http/https/mailto) are NOT fetched — CI must not flake on
+the network — they are only checked for empty targets. Exits non-zero with
+a file:line listing of every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links and images: [text](target) / ![alt](target). Targets with
+# spaces or titles ("...") keep only the URL part.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    out = []
+    for ch in heading:
+        if ch.isalnum() or ch in ("_", "-", " "):
+            out.append(ch)
+    return "".join(out).replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for line, target in iter_links(path):
+        where = f"{path.relative_to(REPO_ROOT)}:{line}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not target or target == "#":
+            errors.append(f"{where}: empty link target")
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if base and not dest.exists():
+            errors.append(f"{where}: missing file '{base}'")
+            continue
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                continue  # anchors into non-markdown are not checked
+            if fragment not in heading_slugs(dest):
+                errors.append(
+                    f"{where}: no heading '#{fragment}' in "
+                    f"'{dest.relative_to(REPO_ROOT)}'"
+                )
+    return errors
+
+
+def main() -> int:
+    markdown_files = sorted(
+        p
+        for p in REPO_ROOT.rglob("*.md")
+        if not any(part.startswith("build") for part in p.parts)
+        and ".git" not in p.parts
+    )
+    errors = []
+    for path in markdown_files:
+        errors.extend(check_file(path))
+    if errors:
+        print(f"{len(errors)} broken markdown link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"checked {len(markdown_files)} markdown files: all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

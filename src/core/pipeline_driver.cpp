@@ -52,48 +52,186 @@ PipelineDriver::PipelineDriver(PipelineDriverConfig config, OutputFn on_output,
       feedback_(feedback_base_config(), config_.initial_budget),
       slide_budget_(config_.initial_budget) {
   if (!config_.evaluate) return;
-  // Build the query registry: the configured set, or — for backward
+  // Seed the query registry: the configured set, or — for backward
   // compatibility — a set synthesised from the legacy single-query fields.
-  sinks_ = config_.queries.clone_sinks();
-  if (sinks_.empty()) {
+  auto seeds = config_.queries.clone_sinks();
+  if (seeds.empty()) {
     QuerySet legacy;
     legacy.aggregate("query", config_.query);
     if (config_.histogram) legacy.histogram("histogram", *config_.histogram);
-    sinks_ = legacy.clone_sinks();
+    seeds = legacy.clone_sinks();
   }
-  // An accuracy budget is the default target for queries without their own;
-  // every targeted query gets a controller and the strictest drives the
-  // budget (max across controllers).
-  const std::optional<double> fallback_target =
-      config_.budget.kind == estimation::BudgetKind::kRelativeError
-          ? std::optional<double>(config_.budget.value)
-          : std::nullopt;
-  for (std::size_t i = 0; i < sinks_.size(); ++i) {
-    sinks_[i]->bind(config_.window, config_.z);
-    if (const auto target = sinks_[i]->accuracy_target(fallback_target)) {
-      feedback_.add_target(*target);
-      feedback_sinks_.push_back(i);
-    }
+  for (auto& sink : seeds) {
+    register_sink(std::move(sink), nullptr, /*attach_slide=*/0,
+                  config_.initial_budget);
   }
-  if (feedback_.empty() && fallback_target && !sinks_.empty()) {
+  if (feedback_.empty() && fallback_target() && !queries_.empty()) {
     // Histogram-only registry with an accuracy budget: no sink inherited the
     // fallback target, but the user still asked for accuracy-driven
     // adaptation — drive one controller from the first query's observed
     // bound rather than silently pinning the budget at its initial value.
-    feedback_.add_target(*fallback_target);
-    feedback_sinks_.push_back(0);
+    queries_.front().controller = feedback_.add_target(*fallback_target());
+  }
+  for (const auto& q : queries_) live_names_.push_back(q.sink->name());
+  live_query_count_.store(queries_.size(), std::memory_order_release);
+}
+
+PipelineDriver::~PipelineDriver() {
+  // Release every subscription consumer: a detached-by-teardown channel
+  // drains its buffered outputs, then reports finished().
+  for (auto& q : queries_) {
+    if (q.subscription) q.subscription->close();
+  }
+  std::lock_guard lock(control_mutex_);
+  for (auto& op : pending_) {
+    if (op.subscription) op.subscription->close();
   }
 }
 
+std::optional<double> PipelineDriver::fallback_target() const {
+  // An accuracy budget is the default target for queries without their own;
+  // every targeted query gets a controller and the strictest drives the
+  // budget (max across controllers).
+  return config_.budget.kind == estimation::BudgetKind::kRelativeError
+             ? std::optional<double>(config_.budget.value)
+             : std::nullopt;
+}
+
+void PipelineDriver::register_sink(
+    std::unique_ptr<QuerySink> sink,
+    std::shared_ptr<QuerySubscription> subscription,
+    std::uint64_t attach_slide, std::size_t seed_budget) {
+  RegisteredQuery q;
+  sink->bind(config_.window, config_.z);
+  if (const auto target = sink->accuracy_target(fallback_target())) {
+    q.controller = feedback_.add_target(*target, seed_budget);
+  }
+  const std::size_t slides_per_window =
+      std::max<std::size_t>(1, config_.window.slides_per_window());
+  // The earliest window made ENTIRELY of slides the sink observed ends at
+  // attach_slide + W - 1; anything earlier would hand the sink a window it
+  // saw only part of.
+  q.first_window_slide =
+      attach_slide + static_cast<std::uint64_t>(slides_per_window) - 1;
+  q.sink = std::move(sink);
+  q.subscription = std::move(subscription);
+  queries_.push_back(std::move(q));
+}
+
+std::shared_ptr<QuerySubscription> PipelineDriver::attach_query(
+    std::unique_ptr<QuerySink> sink, std::size_t subscription_capacity) {
+  std::shared_ptr<QuerySubscription> subscription;
+  if (subscription_capacity > 0) {
+    subscription = std::make_shared<QuerySubscription>(subscription_capacity);
+  }
+  attach_query(std::move(sink), subscription);
+  return subscription;
+}
+
+void PipelineDriver::attach_query(
+    std::unique_ptr<QuerySink> sink,
+    std::shared_ptr<QuerySubscription> subscription) {
+  if (!sink) return;
+  std::lock_guard lock(control_mutex_);
+  PendingOp op;
+  op.sink = std::move(sink);
+  op.subscription = std::move(subscription);
+  pending_.push_back(std::move(op));
+  control_generation_.fetch_add(1, std::memory_order_release);
+}
+
+bool PipelineDriver::detach_query(const std::string& name) {
+  std::lock_guard lock(control_mutex_);
+  // A still-pending attach is simply cancelled — it never took effect.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->sink && it->sink->name() == name) {
+      if (it->subscription) it->subscription->close();
+      pending_.erase(it);
+      control_generation_.fetch_add(1, std::memory_order_release);
+      return true;
+    }
+  }
+  if (std::find(live_names_.begin(), live_names_.end(), name) ==
+      live_names_.end()) {
+    return false;
+  }
+  PendingOp op;
+  op.detach_name = name;
+  pending_.push_back(std::move(op));
+  control_generation_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+void PipelineDriver::apply_pending_ops() {
+  // The boundary fast path: one relaxed-ish atomic read per closed slide;
+  // the mutex is touched only when a control operation is actually queued.
+  if (control_generation_.load(std::memory_order_acquire) ==
+      applied_generation_) {
+    return;
+  }
+  std::lock_guard lock(control_mutex_);
+  applied_generation_ = control_generation_.load(std::memory_order_relaxed);
+  if (pending_.empty()) return;  // e.g. a detach cancelled a pending attach
+  const std::uint64_t attach_slide = assembler_.slides_pushed();
+  for (auto& op : pending_) {
+    if (op.sink) {
+      // Budget continuity: a mid-stream controller starts from the budget
+      // currently in force, not from the cold-start value.
+      register_sink(std::move(op.sink), std::move(op.subscription),
+                    attach_slide,
+                    slide_budget_.load(std::memory_order_relaxed));
+    } else {
+      for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+        if (it->sink->name() == op.detach_name) {
+          if (it->controller) feedback_.remove_target(*it->controller);
+          if (it->subscription) it->subscription->close();
+          queries_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  pending_.clear();
+  if (feedback_.empty() && fallback_target() && !queries_.empty()) {
+    // The last targeted query detached under an accuracy budget: keep
+    // adaptation alive exactly as the constructor would (first query's
+    // observed bound drives one controller).
+    queries_.front().controller = feedback_.add_target(
+        *fallback_target(), slide_budget_.load(std::memory_order_relaxed));
+  }
+  if (!feedback_.empty()) {
+    // Membership changed: the strictest-target budget is rebuilt from the
+    // surviving (and newly seeded) controllers. An emptied bank instead
+    // falls back to the config budget via the cost function at this very
+    // slide's close (the feedback_.empty() path in complete_slide).
+    slide_budget_.store(feedback_.budget(), std::memory_order_relaxed);
+  }
+  live_names_.clear();
+  for (const auto& q : queries_) live_names_.push_back(q.sink->name());
+  live_query_count_.store(queries_.size(), std::memory_order_release);
+  registry_generation_.fetch_add(1, std::memory_order_release);
+}
+
 sampling::OasrsConfig PipelineDriver::slide_sampler_config(
-    std::int64_t slide, std::size_t shard, std::size_t shards) const {
+    std::int64_t slide, std::size_t shard, std::size_t shards,
+    std::size_t shard_strata, std::size_t total_strata) const {
   sampling::OasrsConfig oasrs;
   oasrs.seed = config_.seed +
                static_cast<std::uint64_t>(slide) * 1099511628211ULL +
                static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ULL;
   const std::size_t budget = slide_budget_.load(std::memory_order_relaxed);
-  oasrs.total_budget =
-      shards <= 1 ? budget : std::max<std::size_t>(1, budget / shards);
+  if (shards <= 1) {
+    oasrs.total_budget = budget;
+  } else if (shard_strata > 0 && total_strata > 0) {
+    // Occupancy-aware split: this shard holds shard_strata of the
+    // total_strata sub-streams, so it deserves the same fraction of the
+    // budget — Σ over shards recovers the whole budget, where the flat
+    // split strands the shares of stratum-less workers.
+    const std::size_t mine = std::min(shard_strata, total_strata);
+    oasrs.total_budget = std::max<std::size_t>(1, budget * mine / total_strata);
+  } else {
+    oasrs.total_budget = std::max<std::size_t>(1, budget / shards);
+  }
   return oasrs;
 }
 
@@ -208,23 +346,30 @@ void PipelineDriver::complete_slide(
     const sampling::StratifiedSample<engine::Record>* sample) {
   closed_any_ = true;
 
+  // The dynamic-lifecycle boundary: queued attach/detach operations take
+  // effect here, BEFORE this slide's sink hooks — an attached sink observes
+  // this slide, a detached one does not.
+  if (config_.evaluate) apply_pending_ops();
+
+  // The assembler-relative index of the slide being closed: the window this
+  // push may emit ends at exactly this index.
+  const std::uint64_t slide_index = assembler_.slides_pushed();
+
   // Budget bookkeeping only matters when someone consumes the budget; in
   // raw-window harness mode (evaluate == false) no sampler reads it, so the
   // cells copy, the sink hooks and the cost-function call all stay out of
   // the timed loop.
   if (config_.evaluate) {
-    if (feedback_.empty()) {
-      // Arrival statistics feed only the cost-function fallback, which is
-      // unreachable once accuracy controllers drive the budget — skip the
-      // per-slide cells copy in that mode.
-      std::uint64_t slide_seen = 0;
-      for (const auto& cell : cells) slide_seen += cell.seen;
-      last_slide_seen_ = slide_seen;
-      last_cells_ = cells;
-    }
+    // Arrival statistics always stay fresh: a detach can empty the bank at
+    // any boundary, and the cost-function fallback then resumes from the
+    // LAST slide's count, not a stale snapshot.
+    std::uint64_t slide_seen = 0;
+    for (const auto& cell : cells) slide_seen += cell.seen;
+    last_slide_seen_ = slide_seen;
+    if (feedback_.empty()) last_cells_ = cells;
     // Slide-granular fan-out: sinks that keep per-slide state (the HISTOGRAM
     // ring) see every closed slide, empty padded ones included.
-    for (auto& sink : sinks_) sink->on_slide(cells, sample);
+    for (auto& q : queries_) q.sink->on_slide(cells, sample);
   }
 
   bool fed_back = false;
@@ -241,10 +386,36 @@ void PipelineDriver::complete_slide(
         output.records_sampled += cell.sampled;
       }
       output.budget_in_force = slide_budget_.load(std::memory_order_relaxed);
-      // Window fan-out: every registered query evaluates the same window.
-      output.queries.reserve(sinks_.size());
-      for (auto& sink : sinks_) {
-        output.queries.push_back(sink->evaluate(*window));
+      // The legacy mirror always carries the window's bounds, even when no
+      // query is eligible for it (e.g. every query detached, or a freshly
+      // attached one still waiting for its first whole window) — consumers
+      // identify outputs by estimate.window_end_us.
+      output.estimate.window_start_us = window->window_start_us;
+      output.estimate.window_end_us = window->window_end_us;
+      // Window fan-out: every registered query evaluates the same window —
+      // except queries attached mid-window, which wait until the first
+      // window made entirely of slides they observed.
+      output.queries.reserve(queries_.size());
+      std::vector<std::pair<std::size_t, double>> bounds;
+      for (auto& q : queries_) {
+        if (slide_index < q.first_window_slide) continue;
+        output.queries.push_back(q.sink->evaluate(*window));
+        const QueryOutput& mine = output.queries.back();
+        if (q.controller) {
+          bounds.emplace_back(*q.controller, mine.observed_relative_bound);
+        }
+        if (q.subscription) {
+          // The per-query channel gets a self-contained WindowOutput: this
+          // query's result plus the window-level sampling counters.
+          WindowOutput own;
+          own.estimate = mine.estimate;
+          own.records_seen = output.records_seen;
+          own.records_sampled = output.records_sampled;
+          own.budget_in_force = output.budget_in_force;
+          own.histogram = mine.histogram;
+          own.queries.push_back(mine);
+          q.subscription->publish(std::move(own));
+        }
       }
       // Legacy mirrors: the first query is THE query of a single-query
       // config, and the first histogram its optional histogram.
@@ -262,14 +433,10 @@ void PipelineDriver::complete_slide(
 
       // Adaptive feedback (§4.2), generalised to N queries: each targeted
       // query's controller sees its own observed bound, and the strictest
-      // requirement (max budget) drives the sample size.
-      if (!feedback_.empty()) {
-        std::vector<double> bounds;
-        bounds.reserve(feedback_sinks_.size());
-        for (const std::size_t sink : feedback_sinks_) {
-          bounds.push_back(output.queries[sink].observed_relative_bound);
-        }
-        slide_budget_.store(feedback_.update(bounds),
+      // requirement (max budget) drives the sample size. Controllers whose
+      // query had no whole window yet keep their seed budget.
+      if (!bounds.empty()) {
+        slide_budget_.store(feedback_.update_targets(bounds),
                             std::memory_order_relaxed);
         fed_back = true;
       }

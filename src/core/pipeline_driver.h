@@ -22,10 +22,28 @@
 //   * the evaluation harness    — engines produce per-slide cells directly
 //     and hand them to close_slide_cells() (core/systems.cpp).
 //
-// The driver is not thread-safe: exactly one thread may drive the lifecycle.
-// The single exception is current_budget(), which is atomic so sharded
-// workers can pick up re-tuned budgets for newly opened slides without
-// synchronising with the merger.
+// Dynamic query lifecycle. The registry is LIVE: attach_query() and
+// detach_query() may be called from any thread while the lifecycle runs.
+// Control operations are generation-stamped and queued; the lifecycle
+// thread applies them at the next slide-close boundary, so
+//
+//   * an attached sink observes every slide from its boundary on and
+//     evaluates only windows whose EVERY slide it observed — no
+//     partial-window results (its first window starts at or after the
+//     attach boundary);
+//   * a detached sink stops at its boundary, its FeedbackController retires
+//     with it, and the FeedbackBank's strictest-target budget is rebuilt;
+//   * the data plane is untouched: workers and the sampling hot path never
+//     see the control mutex — complete_slide reads one atomic generation
+//     counter per slide and takes the lock only when membership actually
+//     changed (the RCU-ish "check a stamp, swap at a safe point" shape).
+//
+// Thread safety: exactly one thread may drive the lifecycle
+// (offer/advance/finish/close_slide_*). attach_query/detach_query/
+// registry_generation are safe from any thread, as is current_budget()
+// (atomic: sharded workers pick up re-tuned budgets for newly opened slides
+// without synchronising with the merger). Everything else is
+// lifecycle-thread-only.
 #pragma once
 
 #include <atomic>
@@ -33,10 +51,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/queue.h"
 #include "core/query.h"
 #include "engine/query_cost.h"
 #include "engine/window.h"
@@ -61,8 +82,59 @@ struct WindowOutput {
   /// The first registered HISTOGRAM query's histogram (the legacy config's
   /// optional histogram): bucket masses estimate full-population counts.
   std::optional<Histogram> histogram;
-  /// Every registered query's output, in registration order.
+  /// Every registered query's output, in registration order. Queries
+  /// attached mid-stream appear only from their first whole window on.
   std::vector<QueryOutput> queries;
+};
+
+/// A per-query output channel: the consumer end of an SPSC ring the
+/// lifecycle thread publishes one WindowOutput into per eligible window.
+/// Obtained from attach_query(); lets each consumer drain its query's
+/// results at its own pace instead of sharing the run's single WindowOutput
+/// callback.
+///
+/// Thread safety: poll()/finished()/dropped() may be called by ONE consumer
+/// thread (SPSC discipline — the lifecycle thread is the only producer).
+/// The ring closes when the query is detached or the driver is destroyed;
+/// buffered outputs remain drainable after close.
+class QuerySubscription {
+ public:
+  /// Creates a channel buffering up to `capacity` window outputs.
+  explicit QuerySubscription(std::size_t capacity) : ring_(capacity) {}
+
+  /// Non-blocking: the next buffered window output, or nullopt when none is
+  /// ready yet.
+  std::optional<WindowOutput> poll() { return ring_.try_pop(); }
+
+  /// True once the query was detached (or the run ended) AND every buffered
+  /// output has been drained — the consumer's termination condition.
+  bool finished() const { return ring_.drained(); }
+
+  /// Window outputs discarded because the ring was full when the lifecycle
+  /// thread published (the consumer fell behind; the lifecycle never blocks
+  /// on a slow subscriber). Size the capacity for the consumer's drain rate.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class PipelineDriver;
+  /// The facade closes channels of pre-run attaches it cancels or discards
+  /// (no driver exists yet to do it).
+  friend class StreamApprox;
+
+  /// Lifecycle thread only: non-blocking publish, drop-newest when full.
+  void publish(WindowOutput output) {
+    if (!ring_.try_push(std::move(output))) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Lifecycle thread (detach boundary) or driver teardown.
+  void close() { ring_.close(); }
+
+  SpscRing<WindowOutput> ring_;
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// Configuration of the slide lifecycle.
@@ -97,7 +169,8 @@ struct PipelineDriverConfig {
   bool evaluate = true;
 };
 
-/// Drives slides from open to closed to windowed, with adaptive feedback.
+/// Drives slides from open to closed to windowed, with adaptive feedback
+/// and a live query registry. See the file comment for the threading model.
 class PipelineDriver {
  public:
   /// The per-slide OASRS sampler type shared by all execution paths.
@@ -114,7 +187,11 @@ class PipelineDriver {
   PipelineDriver(PipelineDriverConfig config, OutputFn on_output,
                  WindowFn on_window = {});
 
-  // ---- Sequential ingest path --------------------------------------------
+  /// Closes every live subscription channel so consumers observe
+  /// finished() once they drain.
+  ~PipelineDriver();
+
+  // ---- Sequential ingest path (lifecycle thread only) --------------------
 
   /// Routes one record into its slide's sampler. Records belonging to
   /// already-closed slides (late beyond the watermark) are dropped. Returns
@@ -144,6 +221,7 @@ class PipelineDriver {
   void finish();
 
   // ---- External-sampler path (sharded merger, evaluation harness) --------
+  // Lifecycle thread only.
 
   /// Closes `slide` with an externally produced stratified sample. Slides
   /// must arrive in increasing order; interior gaps are padded with empty
@@ -157,13 +235,65 @@ class PipelineDriver {
   void close_slide_cells(std::int64_t slide,
                          std::vector<estimation::StratumSummary> cells);
 
-  /// Sampler configuration for one shard of one slide: the total budget in
-  /// force is split evenly across `shards`, and the seed is deterministic in
-  /// (driver seed, slide, shard). shard 0 of 1 reproduces the sequential
-  /// path's sampler exactly.
+  /// Sampler configuration for one shard of one slide. The seed is
+  /// deterministic in (driver seed, slide, shard); shard 0 of 1 reproduces
+  /// the sequential path's sampler exactly. The total budget in force is
+  /// split across `shards` by STRATUM OCCUPANCY when it is known —
+  /// `shard_strata` sub-streams routed to this shard out of `total_strata`
+  /// overall gets budget * shard_strata / total_strata — and by the flat
+  /// budget / shards fallback when occupancy is not supplied (either count
+  /// 0). The flat split undershoots whenever strata spread unevenly (3
+  /// strata over 4 workers sample ~half the budget); occupancy-aware shares
+  /// restore Σ shard budgets ≈ budget. Safe from any thread (reads only the
+  /// atomic budget and immutable config).
   sampling::OasrsConfig slide_sampler_config(std::int64_t slide,
                                              std::size_t shard = 0,
-                                             std::size_t shards = 1) const;
+                                             std::size_t shards = 1,
+                                             std::size_t shard_strata = 0,
+                                             std::size_t total_strata = 0)
+      const;
+
+  // ---- Dynamic query lifecycle (safe from ANY thread) --------------------
+
+  /// Queues `sink` for attachment at the next slide-close boundary. From
+  /// that boundary the sink observes every closed slide (on_slide) and
+  /// evaluates every window all of whose slides it observed — it never
+  /// reports a window that was partially assembled before attach. When
+  /// `subscription_capacity` > 0 the query gets its own output channel
+  /// (returned; drain with QuerySubscription::poll) in addition to
+  /// appearing in the shared WindowOutput::queries; with capacity 0 no
+  /// channel is created and nullptr is returned. If the sink carries an
+  /// accuracy target (explicit, or inherited from an accuracy-kind budget),
+  /// its FeedbackController joins the bank seeded at the budget currently
+  /// in force.
+  std::shared_ptr<QuerySubscription> attach_query(
+      std::unique_ptr<QuerySink> sink, std::size_t subscription_capacity = 0);
+
+  /// As above with a caller-provided channel (may be null) — the facade
+  /// uses this to create subscriptions before the driver exists.
+  void attach_query(std::unique_ptr<QuerySink> sink,
+                    std::shared_ptr<QuerySubscription> subscription);
+
+  /// Queues detachment of the first query registered under `name`, effective
+  /// at the next slide-close boundary: the sink stops observing slides, its
+  /// controller (if any) retires and the FeedbackBank budget is rebuilt
+  /// from the remaining targets, and its subscription channel (if any)
+  /// closes after the buffered outputs. Returns true when a live query or a
+  /// still-pending attach matched (a pending attach is simply cancelled);
+  /// false when the name is unknown.
+  bool detach_query(const std::string& name);
+
+  /// Monotone registry generation: bumps every time attach/detach
+  /// operations actually take effect at a boundary. Lets tests and
+  /// monitors await "membership changed".
+  std::uint64_t registry_generation() const noexcept {
+    return registry_generation_.load(std::memory_order_acquire);
+  }
+
+  /// Number of live (boundary-applied) queries.
+  std::size_t query_count() const noexcept {
+    return live_query_count_.load(std::memory_order_acquire);
+  }
 
   // ---- Introspection ------------------------------------------------------
 
@@ -175,20 +305,56 @@ class PipelineDriver {
 
   /// The next slide index to close; nullopt before the first record/close
   /// (the cold-start fix: a stream starting at a large event time does not
-  /// sweep through millions of empty slides from zero).
+  /// sweep through millions of empty slides from zero). Lifecycle thread
+  /// only.
   std::optional<std::int64_t> next_to_close() const noexcept {
     return next_to_close_;
   }
 
-  /// Windows emitted so far.
+  /// Windows emitted so far. Lifecycle thread only.
   std::uint64_t windows_emitted() const noexcept { return windows_emitted_; }
 
-  /// The window geometry in force.
+  /// The window geometry in force. Immutable after construction.
   const engine::WindowConfig& window_config() const noexcept {
     return config_.window;
   }
 
  private:
+  /// One live registry entry: the sink plus its lifecycle bookkeeping.
+  struct RegisteredQuery {
+    std::unique_ptr<QuerySink> sink;
+    /// Stable FeedbackBank id when the query drives a controller.
+    std::optional<std::size_t> controller;
+    /// First slide index (assembler-relative) whose window this query may
+    /// evaluate: attach_slide + slides_per_window - 1, so every evaluated
+    /// window consists solely of slides the sink observed.
+    std::uint64_t first_window_slide = 0;
+    /// Optional per-query output channel.
+    std::shared_ptr<QuerySubscription> subscription;
+  };
+
+  /// A queued control-plane operation (attach or detach).
+  struct PendingOp {
+    std::unique_ptr<QuerySink> sink;  ///< attach when set
+    std::shared_ptr<QuerySubscription> subscription;
+    std::string detach_name;          ///< detach when sink is null
+  };
+
+  /// Registers one sink into the live registry (constructor seeding and
+  /// boundary attach share it). Lifecycle thread only.
+  void register_sink(std::unique_ptr<QuerySink> sink,
+                     std::shared_ptr<QuerySubscription> subscription,
+                     std::uint64_t attach_slide, std::size_t seed_budget);
+
+  /// Applies queued attach/detach operations at a slide-close boundary and
+  /// rebuilds the feedback budget if membership changed. Cheap when nothing
+  /// is pending (one relaxed atomic load).
+  void apply_pending_ops();
+
+  /// The config-level fallback accuracy target (set when the run's budget
+  /// is accuracy-kind).
+  std::optional<double> fallback_target() const;
+
   /// Looks up (or opens) the sampler of `slide` on the sequential path.
   Sampler& sampler_for(std::int64_t slide);
 
@@ -198,9 +364,11 @@ class PipelineDriver {
   /// Pads empty closed slides so `slide` becomes the next to close.
   void pad_until(std::int64_t slide);
 
-  /// The shared lifecycle tail: cells (+ the materialised sample when one
-  /// exists) of one closed slide go through every registered sink's slide
-  /// hook, the window assembler, the query fan-out and the feedback loop.
+  /// The shared lifecycle tail: pending registry ops apply, then cells
+  /// (+ the materialised sample when one exists) of one closed slide go
+  /// through every registered sink's slide hook, the window assembler, the
+  /// query fan-out (shared callback + per-query channels) and the feedback
+  /// loop.
   void complete_slide(std::vector<estimation::StratumSummary> cells,
                       const sampling::StratifiedSample<engine::Record>* sample);
 
@@ -214,12 +382,26 @@ class PipelineDriver {
   estimation::FeedbackBank feedback_;
   std::atomic<std::size_t> slide_budget_;
 
-  /// The query registry in execution order (cloned from the config's set, or
-  /// synthesised from the legacy single-query fields when that set is empty).
-  std::vector<std::unique_ptr<QuerySink>> sinks_;
-  /// Indices into `sinks_` of the queries driving feedback controllers, in
-  /// controller order.
-  std::vector<std::size_t> feedback_sinks_;
+  /// The live query registry in registration order. Lifecycle thread only;
+  /// other threads interact via the control plane below.
+  std::vector<RegisteredQuery> queries_;
+
+  // ---- Control plane (attach/detach hand-off) ----------------------------
+  /// Guards pending_ and live_names_. Never taken on the data hot path: the
+  /// lifecycle thread takes it at most once per slide close, and only when
+  /// the generation stamp says something is pending.
+  mutable std::mutex control_mutex_;
+  std::vector<PendingOp> pending_;
+  /// Names of the live queries, mirrored under control_mutex_ so
+  /// detach_query can validate without touching the lifecycle-owned
+  /// registry.
+  std::vector<std::string> live_names_;
+  /// Bumped on every enqueue; lifecycle thread compares against
+  /// applied_generation_ to skip the lock when nothing is pending.
+  std::atomic<std::uint64_t> control_generation_{0};
+  std::uint64_t applied_generation_ = 0;  ///< lifecycle thread only
+  std::atomic<std::uint64_t> registry_generation_{0};
+  std::atomic<std::size_t> live_query_count_{0};
 
   std::map<std::int64_t, Sampler> open_slides_;
   std::optional<std::int64_t> next_to_close_;

@@ -66,11 +66,21 @@ struct QueryOutput {
 /// target. Sinks may be stateful across slides (the HISTOGRAM slide ring),
 /// so they are cloneable: a QuerySet stored in a config seeds any number of
 /// independent runs, each starting from fresh sink state.
+///
+/// Thread safety: configuration (set_z / set_accuracy_target) happens
+/// before the sink is handed to a registry or to attach_query; afterwards
+/// the sink is owned by ONE lifecycle thread, which calls bind() once and
+/// then on_slide()/evaluate() strictly in slide order. A dynamically
+/// attached sink (StreamApprox::attach_query) is bound at its slide-close
+/// boundary and observes only slides from that boundary on — evaluate() is
+/// never called for a window containing slides the sink did not observe.
 class QuerySink {
  public:
   explicit QuerySink(std::string name) : name_(std::move(name)) {}
   virtual ~QuerySink() = default;
 
+  /// The registration name — immutable, and the key detach_query addresses
+  /// (keep names unique per run; detach retires the first match).
   const std::string& name() const noexcept { return name_; }
 
   /// Per-query confidence (standard deviations): bounds and the feedback
@@ -178,9 +188,13 @@ class HistogramSink : public QuerySink {
   std::vector<Histogram> ring_;  // oldest first, at most slides_per_window_
 };
 
-/// The set of queries registered for one run. Copyable (copies deep-clone
-/// the sinks) so it can live in a by-value config; the driver clones it once
-/// more at construction so concurrent runs never share sink state.
+/// The set of queries registered for one run — the STATIC seed of the
+/// registry. Copyable (copies deep-clone the sinks) so it can live in a
+/// by-value config; the driver clones it once more at construction so
+/// concurrent runs never share sink state. Not thread-safe: build it before
+/// handing the config to a run. Queries join or leave a RUNNING pipeline
+/// through StreamApprox::attach_query / detach_query instead, which feed
+/// the driver's live registry at slide-close boundaries.
 class QuerySet {
  public:
   QuerySet() = default;

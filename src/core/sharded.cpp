@@ -30,10 +30,14 @@
 // The adaptive feedback loop still works: the merger re-tunes the driver's
 // budget as windows complete (max across every registered query's accuracy
 // target — see core/query.h), and workers read the atomic budget when they
-// open samplers for new slides. Query evaluation itself lives entirely
-// behind the driver's query registry, so the sharded data plane is
-// byte-for-byte the same whether one query or N are registered: every
-// record is exchanged, sampled and merged exactly once.
+// open samplers for new slides. The per-slide budget is split across
+// workers by STRATUM OCCUPANCY (budget · my_strata/total_strata, stamped on
+// exchange batches or discovered locally in group mode), not by the flat
+// budget/workers share that undershoots when strata spread unevenly. Query
+// evaluation itself lives entirely behind the driver's query registry, so
+// the sharded data plane is byte-for-byte the same whether one query or N
+// are registered — and queries may attach/detach mid-run: the merger
+// applies registry changes at slide-close boundaries, workers never notice.
 #include <atomic>
 #include <chrono>
 #include <functional>
@@ -42,6 +46,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
@@ -63,6 +68,16 @@ constexpr std::int64_t kNoSlide = std::numeric_limits<std::int64_t>::max();
 struct Shard {
   std::mutex mutex;
   std::map<std::int64_t, PipelineDriver::Sampler> slides;
+  /// The stratum-occupancy share last applied to this shard's samplers:
+  /// `occupancy_my` of `occupancy_total` strata route here, so new slide
+  /// samplers get budget · my/total instead of the flat budget/workers
+  /// split (which undershoots whenever strata spread unevenly — the
+  /// quickstart's 3 strata over 4 workers sampled ~half the budget).
+  std::size_t occupancy_my = 0;
+  std::size_t occupancy_total = 0;
+  /// Group mode only: the strata this worker has discovered in its own
+  /// partition subset (owner-thread access only).
+  std::unordered_set<sampling::StratumId> local_strata;
 };
 
 void atomic_min(std::atomic<std::int64_t>& target, std::int64_t value) {
@@ -86,19 +101,49 @@ struct ShardedPlan {
   std::atomic<std::int64_t> closed_through{
       std::numeric_limits<std::int64_t>::min()};
   std::atomic<std::size_t> workers_done{0};
+  /// Group mode only: total strata discovered across all workers (exchange
+  /// mode carries the deterministic equivalent on every batch stamp).
+  std::atomic<std::size_t> total_strata{0};
 
   ShardedPlan(PipelineDriver& driver, std::vector<Shard>& shards,
               std::size_t workers, std::int64_t slide_us)
       : driver(driver), shards(shards), workers(workers), slide_us(slide_us) {}
 };
 
+/// Applies an occupancy stamp to worker `w`'s shard. When the stamp changed,
+/// every open sampler's budget is re-tuned to the new occupancy share —
+/// shrinks apply to live reservoirs immediately (a uniform subsample stays
+/// uniform), growth applies at the sampler's next reset. Caller holds the
+/// shard mutex.
+void apply_occupancy_locked(ShardedPlan& plan, std::size_t w, Shard& shard,
+                            std::size_t my_strata, std::size_t total_strata) {
+  if (my_strata == shard.occupancy_my &&
+      total_strata == shard.occupancy_total) {
+    return;
+  }
+  shard.occupancy_my = my_strata;
+  shard.occupancy_total = total_strata;
+  for (auto& [slide, sampler] : shard.slides) {
+    sampler.set_total_budget(
+        plan.driver
+            .slide_sampler_config(slide, w, plan.workers, my_strata,
+                                  total_strata)
+            .total_budget);
+  }
+}
+
 /// Routes one batch into worker `w`'s local per-slide samplers: one mutex
 /// acquisition per batch, one slide-map lookup per run of consecutive
-/// same-slide records, one OASRS offer_batch per run.
+/// same-slide records, one OASRS offer_batch per run. `my_strata` /
+/// `total_strata` is the stratum-occupancy stamp in force for this batch
+/// (exchange mode: carried on the batch; group mode: worker-local
+/// discovery), driving the occupancy-aware budget split.
 void absorb_batch(ShardedPlan& plan, std::size_t w,
-                  const engine::Record* records, std::size_t count) {
+                  const engine::Record* records, std::size_t count,
+                  std::size_t my_strata, std::size_t total_strata) {
   Shard& shard = plan.shards[w];
   std::lock_guard lock(shard.mutex);
+  apply_occupancy_locked(plan, w, shard, my_strata, total_strata);
   const std::int64_t frozen =
       plan.closed_through.load(std::memory_order_acquire);
   engine::for_each_slide_run(
@@ -110,7 +155,9 @@ void absorb_batch(ShardedPlan& plan, std::size_t w,
           it = shard.slides
                    .try_emplace(slide,
                                 plan.driver.slide_sampler_config(
-                                    slide, w, plan.workers),
+                                    slide, w, plan.workers,
+                                    shard.occupancy_my,
+                                    shard.occupancy_total),
                                 engine::RecordStratum{})
                    .first;
           atomic_min(plan.first_slide, slide);
@@ -222,6 +269,7 @@ void StreamApprox::run_sharded(
   const std::int64_t slide_us = config_.window.slide_us;
 
   PipelineDriver driver(driver_config(), on_window);
+  const DriverInstallation installation(*this, driver);
   slide_budget_ = driver.current_budget();
 
   std::vector<Shard> shards(workers);
@@ -264,7 +312,16 @@ void StreamApprox::run_sharded(
             ingest_acc += config_.ingest_cost.charge(record.value);
           }
           if (!batch->empty()) {
-            absorb_batch(plan, w, batch->records.data(), batch->size());
+            absorb_batch(plan, w, batch->records.data(), batch->size(),
+                         batch->route_strata, batch->total_strata);
+          } else if (batch->total_strata > 0) {
+            // A heartbeat can still carry a fresher occupancy stamp (another
+            // channel discovered a stratum): shrink this worker's open
+            // samplers to the smaller share without waiting for data.
+            Shard& shard = plan.shards[w];
+            std::lock_guard lock(shard.mutex);
+            apply_occupancy_locked(plan, w, shard, batch->route_strata,
+                                   batch->total_strata);
           }
           // Publish the batch's watermark after the samplers absorbed it.
           clocks[w].store(batch->watermark_us, std::memory_order_release);
@@ -306,12 +363,20 @@ void StreamApprox::run_sharded(
           consumer.poll(records, config_.poll_batch, /*timeout_ms=*/50);
           if (!records.empty()) {
             for (const std::size_t p : assignment) batch_clock[p] = kNoClock;
+            Shard& own = plan.shards[w];
             for (const auto& record : records) {
               ingest_acc += config_.ingest_cost.charge(record.value);
               const std::size_t p = topic.partition_for_key(record.stratum);
               batch_clock[p] = std::max(batch_clock[p], record.event_time_us);
+              // Occupancy discovery (no exchange to stamp it): this worker's
+              // stratum set is owner-local, only the total is shared.
+              if (own.local_strata.insert(record.stratum).second) {
+                plan.total_strata.fetch_add(1, std::memory_order_acq_rel);
+              }
             }
-            absorb_batch(plan, w, records.data(), records.size());
+            absorb_batch(plan, w, records.data(), records.size(),
+                         own.local_strata.size(),
+                         plan.total_strata.load(std::memory_order_acquire));
             // Publish clocks after the samplers absorbed the batch, so the
             // merger can never observe a watermark ahead of the samples.
             for (const std::size_t p : assignment) {

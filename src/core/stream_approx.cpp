@@ -17,6 +17,103 @@ StreamApprox::StreamApprox(ingest::Broker& broker, StreamApproxConfig config)
   broker_.topic(config_.topic);  // throws if missing
 }
 
+std::shared_ptr<QuerySubscription> StreamApprox::attach_query(
+    std::unique_ptr<QuerySink> sink, std::size_t subscription_capacity) {
+  if (!sink) return nullptr;
+  std::lock_guard lock(control_mutex_);
+  if (live_driver_ != nullptr) {
+    return live_driver_->attach_query(std::move(sink), subscription_capacity);
+  }
+  // No run yet: create the channel now and queue the attach for the next
+  // run's driver, where it applies before the first slide closes.
+  PendingAttach pending;
+  pending.sink = std::move(sink);
+  if (subscription_capacity > 0) {
+    pending.subscription =
+        std::make_shared<QuerySubscription>(subscription_capacity);
+  }
+  auto subscription = pending.subscription;
+  pre_run_attaches_.push_back(std::move(pending));
+  return subscription;
+}
+
+bool StreamApprox::detach_query(const std::string& name) {
+  std::lock_guard lock(control_mutex_);
+  if (live_driver_ != nullptr) return live_driver_->detach_query(name);
+  for (auto it = pre_run_attaches_.begin(); it != pre_run_attaches_.end();
+       ++it) {
+    if (it->sink->name() == name) {
+      // The cancelled attach never reaches a driver: close its channel here
+      // so a waiting consumer observes finished().
+      if (it->subscription) it->subscription->close();
+      pre_run_attaches_.erase(it);
+      return true;
+    }
+  }
+  // A config-registered query: queue the detach so the next run's driver
+  // drops it before the first slide closes. A name already slated is gone
+  // as far as the caller is concerned — don't queue (and count) it twice.
+  if (config_has_query(name) &&
+      std::find(pre_run_detaches_.begin(), pre_run_detaches_.end(), name) ==
+          pre_run_detaches_.end()) {
+    pre_run_detaches_.push_back(name);
+    return true;
+  }
+  return false;
+}
+
+bool StreamApprox::config_has_query(const std::string& name) const {
+  if (!config_.queries.empty()) {
+    for (const auto& sink : config_.queries.sinks()) {
+      if (sink->name() == name) return true;
+    }
+    return false;
+  }
+  // An empty set synthesizes the legacy sinks "query" (+ "histogram") at
+  // driver construction; pre-run control must address them by those names
+  // exactly as a running driver would.
+  return name == "query" || (config_.histogram && name == "histogram");
+}
+
+StreamApprox::~StreamApprox() {
+  // Pre-run attaches that never reached a driver still hold live channels:
+  // close them so consumers are not left waiting on finished().
+  std::lock_guard lock(control_mutex_);
+  for (auto& pending : pre_run_attaches_) {
+    if (pending.subscription) pending.subscription->close();
+  }
+}
+
+std::size_t StreamApprox::query_count() const {
+  std::lock_guard lock(control_mutex_);
+  if (live_driver_ != nullptr) return live_driver_->query_count();
+  // Mirror the driver's construction rule: an empty set synthesizes the
+  // legacy "query" sink plus "histogram" when configured.
+  const std::size_t configured =
+      config_.queries.empty() ? (config_.histogram ? 2 : 1)
+                              : config_.queries.size();
+  const std::size_t total = configured + pre_run_attaches_.size();
+  return total > pre_run_detaches_.size() ? total - pre_run_detaches_.size()
+                                          : 0;
+}
+
+void StreamApprox::install_driver(PipelineDriver& driver) {
+  std::lock_guard lock(control_mutex_);
+  for (auto& pending : pre_run_attaches_) {
+    driver.attach_query(std::move(pending.sink),
+                        std::move(pending.subscription));
+  }
+  for (const auto& name : pre_run_detaches_) driver.detach_query(name);
+  pre_run_attaches_.clear();
+  pre_run_detaches_.clear();
+  live_driver_ = &driver;
+}
+
+void StreamApprox::uninstall_driver() {
+  std::lock_guard lock(control_mutex_);
+  live_driver_ = nullptr;
+}
+
 PipelineDriverConfig StreamApprox::driver_config() const {
   PipelineDriverConfig driver;
   driver.queries = config_.queries;
@@ -48,6 +145,7 @@ void StreamApprox::run_sequential(
   auto& topic = broker_.topic(config_.topic);
   ingest::Consumer consumer(broker_, config_.topic);
   PipelineDriver driver(driver_config(), on_window);
+  const DriverInstallation installation(*this, driver);
   slide_budget_ = driver.current_budget();
 
   // Per-partition high-water clocks driving the shared low-watermark policy

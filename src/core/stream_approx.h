@@ -19,6 +19,15 @@
 //                  closes slides by OasrsSampler::merge()-ing worker-local
 //                  samplers once the global low-watermark passes.
 //
+// Dynamic query lifecycle: attach_query() / detach_query() work while the
+// pipeline is RUNNING, in both modes. Operations take effect at the next
+// slide-close boundary — an attached query reports only windows assembled
+// entirely after its attach (no partial-window results), a detached query
+// retires together with its FeedbackController, and the strictest-target
+// budget is rebuilt on every membership change. Each attached query may get
+// its own QuerySubscription output channel so consumers drain results
+// independently of the run's shared WindowOutput callback.
+//
 // This is the public API a downstream user programs against (see
 // examples/quickstart.cpp); the evaluation harness in systems.h bypasses the
 // live broker for reproducible saturation measurements.
@@ -26,6 +35,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -104,10 +115,19 @@ struct StreamApproxConfig {
 };
 
 /// The approximate stream-analytics system.
+///
+/// Thread safety: run() is driven by one thread. attach_query(),
+/// detach_query() and query_count() are safe from ANY thread, including
+/// concurrently with a live run() (that is their purpose) and from inside
+/// the run's own window callback. current_budget() is informational and
+/// safe to read from the run thread between callbacks.
 class StreamApprox {
  public:
   /// Binds to a broker topic. The topic must already exist.
   StreamApprox(ingest::Broker& broker, StreamApproxConfig config);
+
+  /// Closes the channels of pre-run attaches that never reached a driver.
+  ~StreamApprox();
 
   /// Consumes the topic until it is exhausted (sealed and fully read),
   /// invoking `on_window` for every completed sliding window. Slides are
@@ -115,13 +135,79 @@ class StreamApprox {
   /// consumption speed.
   void run(const std::function<void(const WindowOutput&)>& on_window);
 
+  // ---- Dynamic query lifecycle (safe from any thread) --------------------
+
+  /// Attaches a query to the pipeline — while it is RUNNING (sequential or
+  /// sharded) or before run() starts. The attach takes effect at the next
+  /// slide-close boundary: the query observes every slide from there on and
+  /// reports only windows assembled ENTIRELY after its attach (no
+  /// partial-window results). When `subscription_capacity` > 0, returns a
+  /// per-query output channel the caller drains with
+  /// QuerySubscription::poll() (one consumer thread); the channel closes on
+  /// detach or when the run's driver is torn down, and buffered outputs
+  /// stay drainable after close. Returns nullptr when no channel was
+  /// requested. If the sink carries an accuracy target it joins the
+  /// feedback bank seeded at the budget currently in force. Dynamic
+  /// attachments are one-shot: they apply to the current (or next) run and
+  /// do not modify the durable config.
+  std::shared_ptr<QuerySubscription> attach_query(
+      std::unique_ptr<QuerySink> sink, std::size_t subscription_capacity = 0);
+
+  /// Detaches the query registered under `name` — config-registered or
+  /// dynamically attached — at the next slide-close boundary: the sink
+  /// stops observing slides, its FeedbackController (if any) retires and
+  /// the strictest-target budget is rebuilt from the remaining queries
+  /// (falling back to the config budget when no target remains), and its
+  /// subscription channel (if any) closes after the buffered outputs.
+  /// Returns true when a matching query (live, or a not-yet-applied attach,
+  /// which is simply cancelled) was found.
+  bool detach_query(const std::string& name);
+
+  /// Number of queries currently registered: the live driver's
+  /// boundary-applied count while running (queued operations show up once
+  /// they take effect), else the configured set plus queued pre-run
+  /// operations.
+  std::size_t query_count() const;
+
   /// The per-slide sample budget currently in force (adapted over time when
-  /// the budget kind is kRelativeError).
+  /// any registered query carries an accuracy target).
   std::size_t current_budget() const noexcept { return slide_budget_; }
 
  private:
+  /// A dynamic attach requested before run() created a driver.
+  struct PendingAttach {
+    std::unique_ptr<QuerySink> sink;
+    std::shared_ptr<QuerySubscription> subscription;
+  };
+
   /// Maps the facade configuration onto the slide-lifecycle driver's.
   PipelineDriverConfig driver_config() const;
+
+  /// True when `name` addresses a config-registered query, including the
+  /// legacy sinks ("query", "histogram") a legacy config synthesizes.
+  bool config_has_query(const std::string& name) const;
+
+  /// Hands queued pre-run control operations to the freshly built driver
+  /// and publishes it as the live attach/detach target.
+  void install_driver(PipelineDriver& driver);
+
+  /// Unpublishes the live driver (run_* teardown).
+  void uninstall_driver();
+
+  /// RAII wrapper: install on entry, uninstall on scope exit.
+  class DriverInstallation {
+   public:
+    DriverInstallation(StreamApprox& system, PipelineDriver& driver)
+        : system_(system) {
+      system_.install_driver(driver);
+    }
+    ~DriverInstallation() { system_.uninstall_driver(); }
+    DriverInstallation(const DriverInstallation&) = delete;
+    DriverInstallation& operator=(const DriverInstallation&) = delete;
+
+   private:
+    StreamApprox& system_;
+  };
 
   /// Single-threaded execution: one consumer, driver-owned samplers.
   void run_sequential(const std::function<void(const WindowOutput&)>& on_window);
@@ -132,6 +218,13 @@ class StreamApprox {
   ingest::Broker& broker_;
   StreamApproxConfig config_;
   std::size_t slide_budget_ = 0;
+
+  /// Guards the control plane hand-off (live driver pointer + queued
+  /// pre-run operations). Never touched by the data plane.
+  mutable std::mutex control_mutex_;
+  PipelineDriver* live_driver_ = nullptr;
+  std::vector<PendingAttach> pre_run_attaches_;
+  std::vector<std::string> pre_run_detaches_;
 };
 
 }  // namespace streamapprox::core

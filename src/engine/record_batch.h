@@ -42,6 +42,14 @@ struct RecordBatch {
   /// be forwarded to this receiver has already been forwarded. kNoWatermark
   /// until a producer stamps it; kWatermarkFlush when no source gates.
   std::int64_t watermark_us = kNoWatermark;
+  /// Stratum-occupancy stamp (repartitioning exchange only): how many
+  /// distinct strata have been routed to THIS batch's channel so far, out of
+  /// `total_strata` seen across all channels. The exchange thread counts
+  /// both deterministically in record order, so receivers can split the
+  /// per-slide sample budget by occupancy (budget · route/total) without a
+  /// racy shared registry — 0/0 when the producer does not track occupancy.
+  std::uint32_t route_strata = 0;
+  std::uint32_t total_strata = 0;
 
   std::size_t size() const noexcept { return records.size(); }
   bool empty() const noexcept { return records.empty(); }
@@ -52,6 +60,8 @@ struct RecordBatch {
     records.clear();
     source_partition = kMixedSources;
     watermark_us = kNoWatermark;
+    route_strata = 0;
+    total_strata = 0;
   }
 };
 

@@ -38,31 +38,52 @@ FeedbackBank::FeedbackBank(FeedbackConfig base, std::size_t initial_budget)
     : base_(base), initial_budget_(initial_budget) {}
 
 std::size_t FeedbackBank::add_target(double target_relative_error) {
-  FeedbackConfig config = base_;
-  config.target_relative_error = target_relative_error;
-  controllers_.emplace_back(config, initial_budget_);
-  return controllers_.size() - 1;
+  return add_target(target_relative_error, initial_budget_);
 }
 
-std::size_t FeedbackBank::update(const std::vector<double>& observed_bounds) {
-  if (observed_bounds.size() != controllers_.size()) {
-    // A missing bound would read as "perfectly accurate" and ratchet that
-    // controller's budget toward min_budget — fail loudly instead.
-    throw std::invalid_argument(
-        "FeedbackBank::update: one observed bound per registered target");
+std::size_t FeedbackBank::add_target(double target_relative_error,
+                                     std::size_t seed_budget) {
+  FeedbackConfig config = base_;
+  config.target_relative_error = target_relative_error;
+  const std::size_t id = next_id_++;
+  controllers_.push_back(Slot{id, FeedbackController(config, seed_budget)});
+  return id;
+}
+
+bool FeedbackBank::remove_target(std::size_t id) {
+  for (auto it = controllers_.begin(); it != controllers_.end(); ++it) {
+    if (it->id == id) {
+      controllers_.erase(it);
+      return true;
+    }
   }
-  std::size_t max_budget = 0;
-  for (std::size_t i = 0; i < controllers_.size(); ++i) {
-    max_budget = std::max(max_budget, controllers_[i].update(observed_bounds[i]));
+  return false;
+}
+
+std::size_t FeedbackBank::update_targets(
+    const std::vector<std::pair<std::size_t, double>>& observed_by_id) {
+  for (const auto& [id, bound] : observed_by_id) {
+    bool found = false;
+    for (auto& slot : controllers_) {
+      if (slot.id == id) {
+        slot.controller.update(bound);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument(
+          "FeedbackBank::update_targets: unknown controller id");
+    }
   }
-  return controllers_.empty() ? initial_budget_ : max_budget;
+  return budget();
 }
 
 std::size_t FeedbackBank::budget() const noexcept {
   if (controllers_.empty()) return initial_budget_;
   std::size_t max_budget = 0;
-  for (const auto& controller : controllers_) {
-    max_budget = std::max(max_budget, controller.budget());
+  for (const auto& slot : controllers_) {
+    max_budget = std::max(max_budget, slot.controller.budget());
   }
   return max_budget;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_set>
 
 #include "common/clock.h"
 #include "core/watermark.h"
@@ -43,6 +44,11 @@ void Exchange::run() {
   std::vector<std::int64_t> clocks(partitions, core::kNoClock);
   std::vector<std::int64_t> round_clock(partitions);
   std::vector<BatchPtr> out(workers);
+  // Stratum-occupancy bookkeeping for the budget split: this thread sees
+  // every record in deterministic order, so the counts stamped onto batches
+  // are reproducible regardless of downstream thread timing.
+  std::unordered_set<sampling::StratumId> strata_seen;
+  std::vector<std::uint32_t> channel_strata(workers, 0);
   // The last watermark each channel was told, so heartbeats only go to
   // channels that would otherwise fall behind.
   std::vector<std::int64_t> last_sent(workers, engine::kNoWatermark);
@@ -61,6 +67,7 @@ void Exchange::run() {
       any_data = true;
       for (const auto& record : scratch->records) {
         const std::size_t w = route(record.stratum, workers);
+        if (strata_seen.insert(record.stratum).second) ++channel_strata[w];
         if (!out[w]) out[w] = pool_.acquire();
         out[w]->records.push_back(record);
         round_clock[p] = std::max(round_clock[p], record.event_time_us);
@@ -92,9 +99,13 @@ void Exchange::run() {
                                   : view.flush_all() ? engine::kWatermarkFlush
                                                      : view.watermark;
 
+    const auto total_strata =
+        static_cast<std::uint32_t>(strata_seen.size());
     for (std::size_t w = 0; w < workers; ++w) {
       if (out[w] && !out[w]->empty()) {
         out[w]->watermark_us = resolved;
+        out[w]->route_strata = channel_strata[w];
+        out[w]->total_strata = total_strata;
         records_routed_.fetch_add(out[w]->size(), std::memory_order_relaxed);
         batches_emitted_.fetch_add(1, std::memory_order_relaxed);
         push_channel(w, std::move(out[w]));
@@ -105,6 +116,8 @@ void Exchange::run() {
         // forever (and the end-of-stream flush would never reach it).
         auto heartbeat = pool_.acquire();
         heartbeat->watermark_us = resolved;
+        heartbeat->route_strata = channel_strata[w];
+        heartbeat->total_strata = total_strata;
         heartbeats_emitted_.fetch_add(1, std::memory_order_relaxed);
         push_channel(w, std::move(heartbeat));
         last_sent[w] = resolved;

@@ -22,6 +22,14 @@
 // of one sub-stream reaches the same channel — per-stratum reservoirs stay
 // local to one worker and OasrsSampler::merge() remains pure concatenation,
 // preserving the paper's no-synchronisation sampling claim (§3.2).
+//
+// Occupancy stamps. The exchange thread also counts, in deterministic
+// record order, how many distinct strata have routed to each channel
+// (RecordBatch::route_strata) out of the total seen (::total_strata), and
+// stamps both onto every batch and heartbeat. Receivers use the stamp to
+// split the per-slide sample budget proportionally to the strata they
+// actually own — without it, a flat budget/workers split undershoots the
+// effective sampling fraction whenever strata spread unevenly over workers.
 #pragma once
 
 #include <atomic>

@@ -338,6 +338,38 @@ TEST(ParallelEquivalence, ThreeQueriesShardedSampleTheStreamOnce) {
   }
 }
 
+TEST(ParallelEquivalence, OccupancyAwareBudgetSplitRestoresSamplingFraction) {
+  // ROADMAP regression (the quickstart's 3-strata-over-4-workers case at a
+  // 20% budget): the flat budget/workers split strands the shares of
+  // stratum-less workers — the exchange hash routes strata 0 and 1 to one
+  // worker and stratum 2 to another, leaving two workers with nothing — so
+  // the sharded path sampled only ~10%. The occupancy-aware split
+  // (budget · my_strata/total_strata, stamped deterministically on every
+  // exchange batch) restores the effective sampling fraction.
+  const auto records = make_stream(6.0, 20000.0, 17);
+  const auto set_fraction = [](StreamApproxConfig& c) {
+    c.budget = estimation::QueryBudget::fraction(0.20);
+  };
+  const auto sequential = run_mode(records, 1, 3, set_fraction);
+  const auto sharded = run_mode(records, 4, 3, set_fraction);
+  const auto fraction = [](const std::vector<WindowOutput>& outputs) {
+    std::uint64_t seen = 0;
+    std::uint64_t sampled = 0;
+    for (const auto& output : outputs) {
+      seen += output.records_seen;
+      sampled += output.records_sampled;
+    }
+    return static_cast<double>(sampled) / static_cast<double>(seen);
+  };
+  const double sequential_fraction = fraction(sequential);
+  const double sharded_fraction = fraction(sharded);
+  EXPECT_GT(sequential_fraction, 0.15);
+  EXPECT_LT(sequential_fraction, 0.30);
+  // Before the occupancy-aware split this lands at ~half the sequential
+  // fraction; with it the sharded path must sample comparably.
+  EXPECT_GT(sharded_fraction, 0.8 * sequential_fraction);
+}
+
 TEST(ParallelEquivalence, ShardedAdaptiveBudgetStillGrows) {
   const auto records = make_stream(5.0, 30000.0, 11);
   ingest::Broker broker;
