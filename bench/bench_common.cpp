@@ -1,8 +1,10 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
 
@@ -83,6 +85,153 @@ std::string format_throughput(double items_per_sec) {
 void paper_shape(const std::string& text) {
   std::printf("  [paper] %s\n", text.c_str());
   std::fflush(stdout);
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  for (auto& [existing, member] : members_) {
+    if (existing == key) {
+      member = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (is_integer_) {
+        out += std::to_string(integer_);
+      } else if (std::isfinite(number_)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", number_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    case Kind::kString:
+      write_escaped(out, string_);
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += inner_pad;
+        write_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, indent + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += inner_pad;
+        elements_[i].write(out, indent + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0);
+  out += '\n';
+  return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+std::string write_bench_json(const std::string& name, const Json& body) {
+  // Flat envelope: the body's members follow the schema keys in order. A
+  // non-object body nests under "result".
+  Json merged = Json::object();
+  merged.set("benchmark", name);
+  merged.set("schema_version", 1);
+  if (body.kind_ == Json::Kind::kObject) {
+    for (const auto& [key, value] : body.members_) merged.set(key, value);
+  } else {
+    merged.set("result", body);
+  }
+
+  const char* dir = std::getenv("SA_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) : ".";
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + name + ".json";
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "  [bench] cannot write %s\n", path.c_str());
+    return {};
+  }
+  out << merged.dump();
+  std::printf("  [bench] wrote %s\n", path.c_str());
+  std::fflush(stdout);
+  return path;
 }
 
 core::SystemConfig default_config() {

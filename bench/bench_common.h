@@ -10,10 +10,17 @@
 // Scale: the environment variable SA_BENCH_SCALE (default 1.0) multiplies
 // every workload size, so `SA_BENCH_SCALE=0.1 fig4_microbench` smoke-runs in
 // seconds and larger machines can crank it up.
+// Saved trajectories: benches additionally serialise their runs to
+// BENCH_<name>.json (write_bench_json below) so CI can archive throughput /
+// steal / watermark-lag trajectories as artifacts and
+// scripts/check_bench_json.py can keep the format honest.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
@@ -58,5 +65,63 @@ void paper_shape(const std::string& text);
 /// Default microbenchmark SystemConfig (paper defaults: 10 s window, 5 s
 /// slide, 500 ms batches, 4 workers).
 core::SystemConfig default_config();
+
+/// A minimal ordered JSON value for the saved-benchmark trajectories: just
+/// what the BENCH_*.json schema needs (objects keep insertion order so the
+/// files diff cleanly), no parsing, no external dependency.
+class Json {
+ public:
+  // Implicit by design: leaf values read naturally at call sites
+  // (`runs.set("throughput", measured.throughput)`).
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  Json(std::int64_t value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)),
+        integer_(value), is_integer_(true) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::uint64_t value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(unsigned value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+
+  /// An empty object / array to grow with set() / push().
+  static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
+  static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
+
+  /// Object member (insertion-ordered; a repeated key overwrites in place).
+  Json& set(const std::string& key, Json value);
+  /// Array element.
+  Json& push(Json value);
+
+  /// Serialises with 2-space indentation and a trailing newline.
+  std::string dump() const;
+
+ private:
+  friend std::string write_bench_json(const std::string& name,
+                                      const Json& body);
+
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  void write(std::string& out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  bool is_integer_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+/// Percentile over an unsorted sample (nearest-rank; returns 0 when empty).
+double percentile(std::vector<double> values, double p);
+
+/// Writes `BENCH_<name>.json` into $SA_BENCH_JSON_DIR (default: the current
+/// directory), wrapping `body` with the common envelope the schema checker
+/// expects: {"benchmark": name, "schema_version": 1, ...body}. Returns the
+/// path written, or an empty string when the write failed (reported on
+/// stderr; benches keep running — the tables are the primary output).
+std::string write_bench_json(const std::string& name, const Json& body);
 
 }  // namespace streamapprox::bench

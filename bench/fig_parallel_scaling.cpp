@@ -45,7 +45,46 @@ struct Run {
   double wall_seconds = 0.0;
   std::size_t windows = 0;
   std::uint64_t seen = 0;
+  core::ShardedRunStats stats;
 };
+
+/// One run as a BENCH_*.json trajectory entry (shared with fig_steal_skew's
+/// schema so scripts/check_bench_json.py validates both the same way).
+bench::Json run_json(const std::string& mode, std::size_t workers,
+                     const Run& run) {
+  auto entry = bench::Json::object();
+  entry.set("mode", mode);
+  entry.set("workers", workers);
+  entry.set("throughput", run.throughput);
+  entry.set("wall_seconds", run.wall_seconds);
+  entry.set("windows", run.windows);
+  entry.set("exchanges", run.stats.exchanges);
+  entry.set("owner_pops", run.stats.owner_pops);
+  entry.set("steals", run.stats.steals);
+  entry.set("injector_pushes", run.stats.injector_pushes);
+  entry.set("injector_pops", run.stats.injector_pops);
+  entry.set("batches_absorbed", run.stats.batches_absorbed);
+  entry.set("records_absorbed", run.stats.records_absorbed);
+  auto per_worker = bench::Json::array();
+  for (const std::uint64_t records : run.stats.per_worker_records) {
+    per_worker.push(run.wall_seconds > 0.0
+                        ? static_cast<double>(records) / run.wall_seconds
+                        : 0.0);
+  }
+  entry.set("records_per_sec_per_worker", per_worker);
+  std::vector<double> lag;
+  lag.reserve(run.stats.watermark_lag_us.size());
+  for (const std::int64_t us : run.stats.watermark_lag_us) {
+    lag.push_back(static_cast<double>(us));
+  }
+  auto lag_json = bench::Json::object();
+  lag_json.set("p50_us", bench::percentile(lag, 50.0));
+  lag_json.set("p90_us", bench::percentile(lag, 90.0));
+  lag_json.set("p99_us", bench::percentile(lag, 99.0));
+  lag_json.set("samples", lag.size());
+  entry.set("watermark_lag", lag_json);
+  return entry;
+}
 
 Run run_with_workers(const std::vector<engine::Record>& records,
                      std::size_t workers, std::size_t partitions,
@@ -99,6 +138,7 @@ Run run_with_workers(const std::vector<engine::Record>& records,
   run.throughput = run.wall_seconds > 0.0
                        ? static_cast<double>(records.size()) / run.wall_seconds
                        : 0.0;
+  run.stats = system.last_run_stats();
   return run;
 }
 
@@ -144,6 +184,8 @@ int main() {
       "workload: %zu records over 8 s event time, 64 Zipf-skewed strata\n\n",
       records.size());
 
+  auto runs_json = bench::Json::array();
+
   Table table("Sharded execution throughput (8 partitions, exchange)",
               {"Workers", "Throughput", "Wall s", "Windows", "Speedup"});
   double base = 0.0;
@@ -156,6 +198,7 @@ int main() {
         Table::num(run.wall_seconds), std::to_string(run.windows),
         Table::num(base > 0.0 ? run.throughput / base : 0.0) + "x"};
     table.add_row(std::move(row));
+    runs_json.push(run_json("exchange", workers, run));
   }
   table.print();
 
@@ -175,6 +218,7 @@ int main() {
                                       ? grouped.throughput / group_base
                                       : 0.0) +
                            "x"});
+    runs_json.push(run_json("group", workers, grouped));
     const auto exchanged = run_with_workers(records, workers, 2,
                                             /*use_exchange=*/true);
     decoupled.add_row({std::to_string(workers), "exchange",
@@ -183,6 +227,7 @@ int main() {
                                       ? exchanged.throughput / group_base
                                       : 0.0) +
                            "x"});
+    runs_json.push(run_json("exchange-2p", workers, exchanged));
   }
   decoupled.print();
 
@@ -197,6 +242,7 @@ int main() {
   for (const std::size_t queries : {1u, 2u, 4u, 8u}) {
     const auto run = run_with_workers(records, 4, 8,
                                       /*use_exchange=*/true, queries);
+    runs_json.push(run_json("fanout-" + std::to_string(queries), 4, run));
     if (queries == 1) single_wall = run.wall_seconds;
     const double n_pipelines =
         single_wall * static_cast<double>(queries);
@@ -210,6 +256,18 @@ int main() {
              "x cheaper"});
   }
   fanout.print();
+
+  auto meta = bench::Json::object();
+  meta.set("scale", bench::bench_scale());
+  meta.set("ingest_rounds", ingest_rounds());
+  meta.set("hardware_threads", hardware);
+  meta.set("records", records.size());
+  meta.set("strata", 64);
+  auto body = bench::Json::object();
+  body.set("meta", meta);
+  body.set("runs", runs_json);
+  bench::write_bench_json("parallel_scaling", body);
+
   bench::paper_shape(
       "Fig 6(a) shape: near-linear throughput growth with cores while the "
       "merged estimates stay within the sequential path's error bounds; the "

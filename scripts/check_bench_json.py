@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Sanity-checks the BENCH_*.json trajectory files the benches write.
+
+The saved-benchmark harness (bench/bench_common.h: write_bench_json) gives
+every file the same envelope; this checker keeps that format from silently
+rotting — CI runs it over the artifacts of the bench-smoke job, so a bench
+that stops writing runs, writes zero throughput, or drifts from the schema
+fails the build instead of archiving garbage.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exit code 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}")
+    return False
+
+
+def check_run(path, index, run):
+    ok = True
+    if not isinstance(run, dict):
+        return fail(path, f"runs[{index}] is not an object")
+    for key in ("mode", "workers", "throughput", "wall_seconds"):
+        if key not in run:
+            ok = fail(path, f"runs[{index}] missing key '{key}'")
+    if not ok:
+        return False
+    if not isinstance(run["mode"], str) or not run["mode"]:
+        ok = fail(path, f"runs[{index}].mode is not a non-empty string")
+    if not isinstance(run["workers"], int) or run["workers"] < 1:
+        ok = fail(path, f"runs[{index}].workers is not a positive integer")
+    for key in ("throughput", "wall_seconds"):
+        value = run[key]
+        if not isinstance(value, (int, float)) or value <= 0:
+            ok = fail(path, f"runs[{index}].{key} = {value!r} is not > 0")
+    per_worker = run.get("records_per_sec_per_worker")
+    if per_worker is not None:
+        if not isinstance(per_worker, list):
+            ok = fail(path, f"runs[{index}].records_per_sec_per_worker "
+                            "is not an array")
+        elif any(not isinstance(v, (int, float)) or v < 0 for v in per_worker):
+            ok = fail(path, f"runs[{index}].records_per_sec_per_worker "
+                            "has a negative or non-numeric entry")
+    lag = run.get("watermark_lag")
+    if lag is not None and not isinstance(lag, dict):
+        ok = fail(path, f"runs[{index}].watermark_lag is not an object")
+    return ok
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, f"unreadable or invalid JSON ({error})")
+
+    ok = True
+    if not isinstance(data, dict):
+        return fail(path, "top level is not an object")
+    if not isinstance(data.get("benchmark"), str) or not data.get("benchmark"):
+        ok = fail(path, "missing or empty 'benchmark'")
+    if data.get("schema_version") != 1:
+        ok = fail(path, f"schema_version {data.get('schema_version')!r} != 1")
+    if not isinstance(data.get("meta"), dict):
+        ok = fail(path, "'meta' missing or not an object")
+    runs = data.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(path, "'runs' missing, not an array, or empty")
+    for index, run in enumerate(runs):
+        ok = check_run(path, index, run) and ok
+    if ok:
+        print(f"OK   {path}: {len(runs)} runs")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 1
+    results = [check_file(path) for path in argv[1:]]
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

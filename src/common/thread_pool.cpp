@@ -2,16 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace streamapprox {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+void set_current_thread_name(const char* name) {
+  if (name == nullptr || *name == '\0') return;
+#if defined(__linux__)
+  // The kernel caps thread names at 16 bytes including the terminator;
+  // longer names make pthread_setname_np fail outright, so truncate.
+  char buf[16];
+  std::strncpy(buf, name, sizeof(buf) - 1);
+  buf[sizeof(buf) - 1] = '\0';
+  pthread_setname_np(pthread_self(), buf);
+#endif
+}
+
+ThreadPool::ThreadPool(std::size_t threads, const char* name_prefix) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  const std::string prefix = name_prefix ? name_prefix : "";
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, prefix, i] {
+      if (!prefix.empty()) {
+        set_current_thread_name((prefix + "-" + std::to_string(i)).c_str());
+      }
+      worker_loop();
+    });
   }
 }
 

@@ -18,11 +18,18 @@
 
 namespace streamapprox {
 
+/// Names the calling thread for debuggers, TSan reports, and `perf`
+/// (pthread_setname_np where available, truncated to the kernel's 15-char
+/// limit; a silent no-op elsewhere). Call first thing inside the thread.
+void set_current_thread_name(const char* name);
+
 /// A joinable fixed-size thread pool.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (at least 1; 0 means hardware_concurrency).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// Workers are named "<name_prefix>-<i>" when a prefix is given.
+  explicit ThreadPool(std::size_t threads = 0,
+                      const char* name_prefix = nullptr);
 
   /// Stops accepting work, drains the queue, joins all workers.
   ~ThreadPool();

@@ -106,6 +106,14 @@ class QuerySubscription {
   /// ready yet.
   std::optional<WindowOutput> poll() { return ring_.try_pop(); }
 
+  /// Non-blocking batch drain: appends up to `max` buffered outputs to
+  /// `out` in one ring synchronisation and returns the number taken — a
+  /// consumer catching up after a stall pays one acquire/release per fill
+  /// instead of per element.
+  std::size_t poll_n(std::vector<WindowOutput>& out, std::size_t max) {
+    return ring_.pop_n(out, max);
+  }
+
   /// True once the query was detached (or the run ended) AND every buffered
   /// output has been drained — the consumer's termination condition.
   bool finished() const { return ring_.drained(); }

@@ -3,15 +3,30 @@
 // over a batched morsel data plane. Two ingest front-ends share one
 // watermark-gated merger:
 //
-//   exchange mode    (default) one exchange stage polls every partition in
-//                    batches and re-keys them by stratum hash onto M
-//                    SPSC channels (ingest/exchange.h), so the worker count
-//                    is independent of the topic's partition count; each
-//                    batch carries the min-combined low-watermark, which
-//                    workers republish AFTER absorbing the batch;
+//   exchange mode    (default) E exchange shards each poll their partition
+//                    subset in batches and re-key them by stratum hash onto
+//                    per-worker SPSC channels (ingest/exchange.h), so the
+//                    worker count is independent of the topic's partition
+//                    count; each batch carries that shard's resolved
+//                    low-watermark, and workers report absorption through a
+//                    per-channel completion tracker so the merger's
+//                    min-combined watermark never runs ahead of the samples;
 //   group mode       (use_exchange = false) a consumer group splits the
 //                    partitions across N workers, each polling its subset
 //                    directly; per-partition clocks drive the watermark.
+//
+// Work-stealing morsel scheduler (exchange mode, config.work_stealing).
+// Workers are no longer statically bound to their channels: each worker
+// drains its own inboxes into a per-worker StealDeque (common/queue.h) and
+// works LIFO off the bottom; when its own work runs out it pops the shared
+// overflow injector, then steals the OLDEST morsel off another worker's
+// deque. A stolen morsel is absorbed into the THIEF's local per-slide
+// samplers — safe because OASRS samplers merge associatively at slide close
+// (the merger concatenates whatever shard holds each stratum's reservoir),
+// so per-window records_seen is schedule-independent. Deque overflow spills
+// to the injector; when both are full the owner absorbs in place, so the
+// exchange can never deadlock against a full topology. Out-of-order
+// completion is reconciled by ChannelProgress below.
 //
 // In both modes every worker samples with LOCAL per-slide OASRS samplers —
 // no lock is shared between two workers on the sampling hot path (each
@@ -40,16 +55,20 @@
 // applies registry changes at slide-close boundaries, workers never notice.
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/queue.h"
 #include "common/thread_pool.h"
 #include "core/stream_approx.h"
 #include "core/watermark.h"
@@ -88,6 +107,61 @@ void atomic_min(std::atomic<std::int64_t>& target, std::int64_t value) {
                                        std::memory_order_relaxed)) {
   }
 }
+
+/// Morsel-completion tracker for the work-stealing scheduler. Stolen morsels
+/// are absorbed out of channel order, but a channel's watermark clock may
+/// only cover records already in samplers — so each channel's clock advances
+/// over the CONTIGUOUS PREFIX of completed sequence numbers, publishing the
+/// watermark of the last batch in the prefix. The exchange stamps seqs
+/// gaplessly per channel (heartbeats included), so the prefix always catches
+/// up; per-shard watermarks are monotone, so the published clock is too.
+class ChannelProgress {
+ public:
+  ChannelProgress(std::size_t channels,
+                  std::vector<std::atomic<std::int64_t>>& clocks)
+      : states_(channels), clocks_(clocks) {}
+
+  /// Reports batch (channel, seq) absorbed with watermark `watermark_us`.
+  void complete(std::uint32_t channel, std::uint64_t seq,
+                std::int64_t watermark_us) {
+    State& state = states_[channel];
+    std::lock_guard lock(state.mutex);
+    state.pending.emplace(seq, watermark_us);
+    std::int64_t publish = kNoClock;
+    bool advanced = false;
+    while (!state.pending.empty() &&
+           state.pending.begin()->first == state.next) {
+      publish = state.pending.begin()->second;
+      state.pending.erase(state.pending.begin());
+      ++state.next;
+      advanced = true;
+    }
+    // Publish under the lock: two thieves finishing prefixes back-to-back
+    // must store in prefix order or the clock could transiently regress.
+    if (advanced) clocks_[channel].store(publish, std::memory_order_release);
+  }
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::uint64_t next = 0;  ///< first sequence number not yet completed
+    std::map<std::uint64_t, std::int64_t> pending;  ///< completed, gapped
+  };
+  std::vector<State> states_;
+  std::vector<std::atomic<std::int64_t>>& clocks_;
+};
+
+/// Cross-worker totals of the morsel scheduler, flushed once per worker at
+/// exit (the hot loop counts into locals).
+struct SchedulerCounters {
+  std::atomic<std::uint64_t> owner_pops{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> injector_pushes{0};
+  std::atomic<std::uint64_t> injector_pops{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> heartbeats{0};
+  std::atomic<std::uint64_t> records{0};
+};
 
 /// Everything the ingest front-ends and the merger share.
 struct ShardedPlan {
@@ -137,13 +211,19 @@ void apply_occupancy_locked(ShardedPlan& plan, std::size_t w, Shard& shard,
 /// same-slide records, one OASRS offer_batch per run. `my_strata` /
 /// `total_strata` is the stratum-occupancy stamp in force for this batch
 /// (exchange mode: carried on the batch; group mode: worker-local
-/// discovery), driving the occupancy-aware budget split.
+/// discovery), driving the occupancy-aware budget split. `apply_stamp` is
+/// false when a thief absorbs a STOLEN morsel: the victim channel's stamp
+/// describes the victim's stratum set, not the thief's, so the thief keeps
+/// its own occupancy share (records_seen is unaffected either way).
 void absorb_batch(ShardedPlan& plan, std::size_t w,
                   const engine::Record* records, std::size_t count,
-                  std::size_t my_strata, std::size_t total_strata) {
+                  std::size_t my_strata, std::size_t total_strata,
+                  bool apply_stamp = true) {
   Shard& shard = plan.shards[w];
   std::lock_guard lock(shard.mutex);
-  apply_occupancy_locked(plan, w, shard, my_strata, total_strata);
+  if (apply_stamp) {
+    apply_occupancy_locked(plan, w, shard, my_strata, total_strata);
+  }
   const std::int64_t frozen =
       plan.closed_through.load(std::memory_order_acquire);
   engine::for_each_slide_run(
@@ -174,7 +254,7 @@ void absorb_batch(ShardedPlan& plan, std::size_t w,
 void merge_until_done(ShardedPlan& plan,
                       std::vector<std::atomic<std::int64_t>>& clocks,
                       bool apply_idle_grace, std::int64_t idle_timeout_ms,
-                      const std::function<void()>& after_close) {
+                      const std::function<void(std::int64_t)>& after_close) {
   const auto close_one = [&](std::int64_t slide) {
     // Freeze the slide first: a racing worker either got its records in
     // before extraction (they are merged) or sees the fence and drops them
@@ -199,7 +279,7 @@ void merge_until_done(ShardedPlan& plan,
       if (node) merged.merge(node.mapped());
     }
     plan.driver.close_slide_sample(slide, merged.take());
-    after_close();
+    after_close(slide);
   };
 
   std::optional<std::int64_t> next;
@@ -274,72 +354,293 @@ void StreamApprox::run_sharded(
 
   std::vector<Shard> shards(workers);
   ShardedPlan plan(driver, shards, workers, slide_us);
-  const auto after_close = [&] { slide_budget_ = driver.current_budget(); };
 
   if (use_exchange) {
-    // ---- Exchange mode: repartitioned batches, forwarded watermarks.
-    ingest::ExchangeConfig exchange_config;
-    exchange_config.workers = workers;
-    exchange_config.batch_size = config_.exchange_batch_size;
-    exchange_config.ring_capacity = config_.exchange_ring_capacity;
-    exchange_config.idle_partition_timeout_ms =
-        config_.idle_partition_timeout_ms;
-    ingest::Exchange exchange(broker_, config_.topic, exchange_config);
+    // ---- Exchange mode: E exchange shards repartition their partition
+    // subsets onto per-worker channels; workers run the morsel scheduler.
+    const std::size_t exchange_count =
+        std::max<std::size_t>(1, config_.exchanges);
+    const bool stealing = config_.work_stealing;
+    const std::size_t deque_capacity =
+        std::max<std::size_t>(2, config_.steal_deque_capacity);
+    run_stats_.exchanges = exchange_count;
+    run_stats_.workers = workers;
+    run_stats_.per_worker_records.assign(workers, 0);
 
-    // Per-worker republished watermarks: a worker stores the watermark of a
-    // batch only after absorbing it, so the merger's min over workers can
-    // never run ahead of the samples.
-    std::vector<std::atomic<std::int64_t>> clocks(workers);
+    std::vector<std::unique_ptr<ingest::Exchange>> exchanges;
+    exchanges.reserve(exchange_count);
+    for (std::size_t e = 0; e < exchange_count; ++e) {
+      ingest::ExchangeConfig exchange_config;
+      exchange_config.workers = workers;
+      exchange_config.batch_size = config_.exchange_batch_size;
+      exchange_config.ring_capacity = config_.exchange_ring_capacity;
+      exchange_config.idle_partition_timeout_ms =
+          config_.idle_partition_timeout_ms;
+      exchange_config.exchange_index = e;
+      exchange_config.exchange_count = exchange_count;
+      exchanges.push_back(std::make_unique<ingest::Exchange>(
+          broker_, config_.topic, exchange_config));
+    }
+
+    // One watermark clock per CHANNEL (= exchange e × worker w, index
+    // e·W + w), advanced only by the completion tracker — so a clock covers
+    // exactly the contiguously absorbed prefix of its channel, and the
+    // merger's min over all E·W clocks min-combines the per-shard
+    // watermarks (core::resolve_watermark explains why that composes).
+    const std::size_t channels = exchange_count * workers;
+    std::vector<std::atomic<std::int64_t>> clocks(channels);
     for (auto& clock : clocks) {
       clock.store(kNoClock, std::memory_order_relaxed);
     }
+    ChannelProgress progress(channels, clocks);
 
-    ThreadPool pool(workers + 1);
-    pool.submit([&] { exchange.run(); });
+    // The scheduler's queues: one steal deque per worker plus the shared
+    // overflow injector (deque full → injector; both full → absorb in
+    // place, so backpressure can never deadlock the topology).
+    std::vector<std::unique_ptr<StealDeque<engine::RecordBatch*>>> deques;
+    deques.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.submit([&, w] {
-        // Volatile-sunk at exit so the parse-work model survives
-        // optimisation.
-        double ingest_acc = 0.0;
-        for (;;) {
-          auto batch = exchange.pop(w);
-          if (!batch) {
-            if (exchange.drained(w)) break;
-            std::this_thread::sleep_for(std::chrono::microseconds(100));
-            continue;
-          }
-          for (const auto& record : batch->records) {
-            ingest_acc += config_.ingest_cost.charge(record.value);
-          }
-          if (!batch->empty()) {
-            absorb_batch(plan, w, batch->records.data(), batch->size(),
-                         batch->route_strata, batch->total_strata);
-          } else if (batch->total_strata > 0) {
-            // A heartbeat can still carry a fresher occupancy stamp (another
-            // channel discovered a stratum): shrink this worker's open
-            // samplers to the smaller share without waiting for data.
-            Shard& shard = plan.shards[w];
-            std::lock_guard lock(shard.mutex);
-            apply_occupancy_locked(plan, w, shard, batch->route_strata,
-                                   batch->total_strata);
-          }
-          // Publish the batch's watermark after the samplers absorbed it.
-          clocks[w].store(batch->watermark_us, std::memory_order_release);
-          exchange.recycle(std::move(batch));
-        }
-        volatile double ingest_sink = ingest_acc;
-        (void)ingest_sink;
-        plan.workers_done.fetch_add(1, std::memory_order_release);
-      });
+      deques.push_back(std::make_unique<StealDeque<engine::RecordBatch*>>(
+          deque_capacity));
     }
-    // The exchange resolved the idleness policy already; the merger applies
-    // the forwarded values verbatim.
-    merge_until_done(plan, clocks, /*apply_idle_grace=*/false,
-                     config_.idle_partition_timeout_ms, after_close);
+    BoundedQueue<engine::RecordBatch*> injector(
+        std::max<std::size_t>(64, workers * deque_capacity));
+    SchedulerCounters counters;
+
+    const auto after_close = [&](std::int64_t slide) {
+      slide_budget_ = driver.current_budget();
+      // Watermark lag: how far ingest had run ahead of this close.
+      std::int64_t max_event = engine::kNoWatermark;
+      for (const auto& exchange : exchanges) {
+        max_event = std::max(max_event, exchange->max_routed_event_us());
+      }
+      if (max_event != engine::kNoWatermark) {
+        run_stats_.watermark_lag_us.push_back(max_event -
+                                              (slide + 1) * slide_us);
+      }
+    };
+
+    {
+      ThreadPool pool(workers + exchange_count);
+      for (std::size_t e = 0; e < exchange_count; ++e) {
+        pool.submit([&, e] {
+          set_current_thread_name(("sa-exch-" + std::to_string(e)).c_str());
+          exchanges[e]->run();
+        });
+      }
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.submit([&, w] {
+          set_current_thread_name(("sa-work-" + std::to_string(w)).c_str());
+          // Volatile-sunk at exit so the parse-work model survives
+          // optimisation.
+          double ingest_acc = 0.0;
+          // This worker's occupancy stamps, one per OWN channel. Strata are
+          // disjoint across exchange shards (each stratum lives on exactly
+          // one partition), so the summed stamps are the worker's true
+          // occupancy share across the sharded exchange.
+          std::vector<std::uint32_t> stamp_my(exchange_count, 0);
+          std::vector<std::uint32_t> stamp_total(exchange_count, 0);
+          std::uint64_t n_owner = 0, n_steal = 0, n_inj_push = 0,
+                        n_inj_pop = 0, n_batches = 0, n_heartbeats = 0,
+                        n_records = 0;
+
+          const auto summed_occupancy = [&](std::size_t& my,
+                                            std::size_t& total) {
+            my = 0;
+            total = 0;
+            for (std::size_t e = 0; e < exchange_count; ++e) {
+              my += stamp_my[e];
+              total += stamp_total[e];
+            }
+          };
+
+          // Absorbs one data morsel into THIS worker's local samplers.
+          // Owner morsels refresh the occupancy stamp; stolen ones keep the
+          // thief's share (absorb_batch comment). Completion is reported
+          // after the samplers hold the records — the watermark invariant.
+          const auto absorb = [&](engine::RecordBatch* raw) {
+            ingest::Exchange::BatchPtr batch(raw);
+            const std::size_t e = batch->channel / workers;
+            const bool own = batch->channel % workers == w;
+            for (const auto& record : batch->records) {
+              ingest_acc += config_.ingest_cost.charge(record.value);
+            }
+            if (own) {
+              stamp_my[e] = batch->route_strata;
+              stamp_total[e] = batch->total_strata;
+            }
+            std::size_t my = 0, total = 0;
+            summed_occupancy(my, total);
+            absorb_batch(plan, w, batch->records.data(), batch->size(), my,
+                         total, /*apply_stamp=*/own);
+            ++n_batches;
+            n_records += batch->size();
+            progress.complete(batch->channel, batch->seq,
+                              batch->watermark_us);
+            exchanges[e]->recycle(std::move(batch));
+          };
+
+          // Heartbeats never enter the deques (no records to steal): the
+          // owner applies the occupancy stamp and completes them inline. A
+          // heartbeat can shrink open samplers when another channel
+          // discovered a stratum.
+          const auto handle_heartbeat =
+              [&](ingest::Exchange::BatchPtr batch) {
+                const std::size_t e = batch->channel / workers;
+                stamp_my[e] = batch->route_strata;
+                stamp_total[e] = batch->total_strata;
+                std::size_t my = 0, total = 0;
+                summed_occupancy(my, total);
+                if (total > 0) {
+                  Shard& shard = plan.shards[w];
+                  std::lock_guard lock(shard.mutex);
+                  apply_occupancy_locked(plan, w, shard, my, total);
+                }
+                ++n_heartbeats;
+                progress.complete(batch->channel, batch->seq,
+                                  batch->watermark_us);
+                exchanges[e]->recycle(std::move(batch));
+              };
+
+          StealDeque<engine::RecordBatch*>& deque = *deques[w];
+          std::vector<ingest::Exchange::BatchPtr> inbox;
+          inbox.reserve(deque_capacity);
+
+          // Drains this worker's own inboxes (one ring per exchange shard)
+          // into its deque, spilling overflow to the injector.
+          const auto refill = [&]() -> bool {
+            bool any = false;
+            for (std::size_t e = 0; e < exchange_count; ++e) {
+              inbox.clear();
+              exchanges[e]->pop_n(w, inbox, deque_capacity);
+              for (auto& polled : inbox) {
+                any = true;
+                if (polled->heartbeat) {
+                  handle_heartbeat(std::move(polled));
+                  continue;
+                }
+                engine::RecordBatch* raw = polled.release();
+                if (!deque.push_bottom(raw)) {
+                  if (injector.try_push(raw)) {
+                    ++n_inj_push;
+                  } else {
+                    // Deque and injector both full: absorb in place so the
+                    // exchange's backpressure can always drain.
+                    absorb(raw);
+                    ++n_owner;
+                  }
+                }
+              }
+            }
+            return any;
+          };
+
+          if (stealing) {
+            for (;;) {
+              // 1. Own deque, newest first (cache-warm LIFO).
+              if (auto raw = deque.pop_bottom()) {
+                absorb(*raw);
+                ++n_owner;
+                continue;
+              }
+              // 2. Refill from own inboxes (also exposes backlog to
+              // thieves).
+              if (refill()) continue;
+              // 3. Shared injector overflow.
+              if (auto raw = injector.try_pop()) {
+                absorb(*raw);
+                ++n_inj_pop;
+                continue;
+              }
+              // 4. Steal the oldest morsel off another worker's deque.
+              bool stole = false;
+              for (std::size_t offset = 1; offset < workers && !stole;
+                   ++offset) {
+                if (auto raw = deques[(w + offset) % workers]->steal_top()) {
+                  absorb(*raw);
+                  ++n_steal;
+                  stole = true;
+                }
+              }
+              if (stole) continue;
+              // 5. Exit only with own inboxes drained and both queues this
+              // worker could still be responsible for empty. A worker that
+              // spilled to the injector always reaches this check again, so
+              // injector morsels can never be orphaned.
+              bool inputs_done = true;
+              for (std::size_t e = 0; e < exchange_count; ++e) {
+                inputs_done = inputs_done && exchanges[e]->drained(w);
+              }
+              if (inputs_done && deque.empty() && injector.size() == 0) {
+                break;
+              }
+              std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+          } else {
+            // Static binding (the steal-skew benchmark's baseline, and the
+            // PR 2 behaviour): each worker consumes exactly its own
+            // channels.
+            for (;;) {
+              bool any = false;
+              for (std::size_t e = 0; e < exchange_count; ++e) {
+                while (auto batch = exchanges[e]->pop(w)) {
+                  any = true;
+                  if (batch->heartbeat) {
+                    handle_heartbeat(std::move(batch));
+                  } else {
+                    absorb(batch.release());
+                    ++n_owner;
+                  }
+                }
+              }
+              if (!any) {
+                bool inputs_done = true;
+                for (std::size_t e = 0; e < exchange_count; ++e) {
+                  inputs_done = inputs_done && exchanges[e]->drained(w);
+                }
+                if (inputs_done) break;
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+              }
+            }
+          }
+
+          volatile double ingest_sink = ingest_acc;
+          (void)ingest_sink;
+          counters.owner_pops.fetch_add(n_owner, std::memory_order_relaxed);
+          counters.steals.fetch_add(n_steal, std::memory_order_relaxed);
+          counters.injector_pushes.fetch_add(n_inj_push,
+                                             std::memory_order_relaxed);
+          counters.injector_pops.fetch_add(n_inj_pop,
+                                           std::memory_order_relaxed);
+          counters.batches.fetch_add(n_batches, std::memory_order_relaxed);
+          counters.heartbeats.fetch_add(n_heartbeats,
+                                        std::memory_order_relaxed);
+          counters.records.fetch_add(n_records, std::memory_order_relaxed);
+          run_stats_.per_worker_records[w] = n_records;
+          plan.workers_done.fetch_add(1, std::memory_order_release);
+        });
+      }
+      // The exchanges resolved the idleness policy already; the merger
+      // applies the forwarded values verbatim.
+      merge_until_done(plan, clocks, /*apply_idle_grace=*/false,
+                       config_.idle_partition_timeout_ms, after_close);
+    }  // joins the pool: counters and per-worker records are final below
+
+    run_stats_.owner_pops = counters.owner_pops.load();
+    run_stats_.steals = counters.steals.load();
+    run_stats_.injector_pushes = counters.injector_pushes.load();
+    run_stats_.injector_pops = counters.injector_pops.load();
+    run_stats_.batches_absorbed = counters.batches.load();
+    run_stats_.heartbeats_absorbed = counters.heartbeats.load();
+    run_stats_.records_absorbed = counters.records.load();
   } else {
     // ---- Group mode: the consumer group owns the partition split; each
     // worker thread drives exactly one member (no offset state is shared
     // between threads).
+    run_stats_.workers = workers;
+    const auto after_close = [&](std::int64_t) {
+      slide_budget_ = driver.current_budget();
+    };
     ingest::ConsumerGroup group(broker_, config_.topic, workers);
     // Per-partition high-water event-time clocks: kNoClock until the
     // partition's first record, kPartitionDrained once sealed and drained
@@ -349,7 +650,7 @@ void StreamApprox::run_sharded(
       clock.store(kNoClock, std::memory_order_relaxed);
     }
 
-    ThreadPool pool(workers);
+    ThreadPool pool(workers, "sa-group");
     for (std::size_t w = 0; w < workers; ++w) {
       pool.submit([&, w] {
         ingest::Consumer& consumer = group.member(w);

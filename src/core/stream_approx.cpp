@@ -129,6 +129,8 @@ PipelineDriverConfig StreamApprox::driver_config() const {
 
 void StreamApprox::run(
     const std::function<void(const WindowOutput&)>& on_window) {
+  run_stats_ = ShardedRunStats{};
+  run_stats_.workers = 1;
   // The exchange decouples workers from partitions, so any workers > 1 can
   // shard; without it, sharding needs at least two partitions to split.
   if (config_.workers > 1 &&

@@ -93,6 +93,25 @@ struct StreamApproxConfig {
   std::size_t exchange_batch_size = 1024;
   /// Batches buffered per exchange channel before backpressure.
   std::size_t exchange_ring_capacity = 64;
+  /// Exchange shards (sharded+exchange mode): E instances each own the
+  /// topic partitions p with p % E == index and repartition them on their
+  /// own thread; the merger min-combines the per-shard watermarks. 1 (or 0)
+  /// keeps the classic single-exchange layout.
+  std::size_t exchanges = 1;
+  /// Work-stealing morsel scheduler (sharded+exchange mode): when true,
+  /// each worker transfers its channel backlog into a per-worker deque that
+  /// idle workers steal from (oldest morsel first), with a shared injector
+  /// queue for overflow — a skewed stratum mix no longer leaves workers
+  /// idle. Stolen morsels are absorbed into the THIEF's local samplers,
+  /// which OasrsSampler::merge() reconciles at slide close, so per-window
+  /// records_seen is identical to the static schedule. When false, workers
+  /// stay statically bound to their channels (the PR 2 behaviour — also the
+  /// baseline the steal-skew benchmark measures against).
+  bool work_stealing = true;
+  /// Morsel capacity of each worker's steal deque (rounded up to a power of
+  /// two). Small values force overflow through the injector queue; the
+  /// equivalence tests use that to exercise stealing deterministically.
+  std::size_t steal_deque_capacity = 64;
   /// Grace period after which a partition that has NEVER delivered a record
   /// stops gating the watermark (Kafka's idleness rule), so a topic with
   /// more partitions than sub-streams still emits windows on a live,
@@ -112,6 +131,29 @@ struct StreamApproxConfig {
   std::optional<estimation::HistogramSpec> histogram;
   /// RNG seed.
   std::uint64_t seed = 2017;
+};
+
+/// Counters and latency samples from the last sharded run — the raw
+/// material of the saved-benchmark JSON trajectories. All counters are
+/// totals across workers/exchanges; zeroed by every run() start (a
+/// sequential run leaves everything zero except `workers`).
+struct ShardedRunStats {
+  std::size_t exchanges = 0;
+  std::size_t workers = 0;
+  /// Data batches absorbed, split by how the absorbing worker got them.
+  std::uint64_t owner_pops = 0;       ///< own deque / own channel
+  std::uint64_t steals = 0;           ///< taken from another worker's deque
+  std::uint64_t injector_pushes = 0;  ///< deque-overflow spills
+  std::uint64_t injector_pops = 0;    ///< absorbed from the injector
+  std::uint64_t batches_absorbed = 0;
+  std::uint64_t heartbeats_absorbed = 0;
+  std::uint64_t records_absorbed = 0;
+  /// Records absorbed per worker index (steals shift mass between entries).
+  std::vector<std::uint64_t> per_worker_records;
+  /// Watermark lag sampled at each slide close: max event time routed by
+  /// any exchange minus the closing slide's end (µs) — how far ingest ran
+  /// ahead of the merger. Percentiles of this are the bench's lag metric.
+  std::vector<std::int64_t> watermark_lag_us;
 };
 
 /// The approximate stream-analytics system.
@@ -173,6 +215,12 @@ class StreamApprox {
   /// any registered query carries an accuracy target).
   std::size_t current_budget() const noexcept { return slide_budget_; }
 
+  /// Scheduler/exchange counters of the most recent run() (valid after it
+  /// returns; reset when the next run starts). Read from the run thread.
+  const ShardedRunStats& last_run_stats() const noexcept {
+    return run_stats_;
+  }
+
  private:
   /// A dynamic attach requested before run() created a driver.
   struct PendingAttach {
@@ -218,6 +266,7 @@ class StreamApprox {
   ingest::Broker& broker_;
   StreamApproxConfig config_;
   std::size_t slide_budget_ = 0;
+  ShardedRunStats run_stats_;
 
   /// Guards the control plane hand-off (live driver pointer + queued
   /// pre-run operations). Never touched by the data plane.

@@ -64,4 +64,20 @@ inline WatermarkView evaluate_watermark(const std::vector<std::int64_t>& clocks,
   return view;
 }
 
+/// Collapses a WatermarkView into one policy-complete clock value:
+/// kNoClock while blocked (nothing may close), kPartitionDrained when no
+/// partition gates at all (flush everything), the low watermark otherwise.
+///
+/// The sentinel choice is what makes MULTI-EXCHANGE watermarks composable:
+/// each exchange resolves its own partition subset with this function, and
+/// because kNoClock sorts below every real clock and kPartitionDrained above,
+/// a downstream stage min-combines the resolved values of E exchanges with a
+/// second evaluate_watermark() pass (or a plain std::min) and gets exactly
+/// the policy result a single exchange over the union would have produced.
+inline std::int64_t resolve_watermark(const WatermarkView& view) {
+  if (view.blocked) return kNoClock;
+  if (view.flush_all()) return kPartitionDrained;
+  return view.watermark;
+}
+
 }  // namespace streamapprox::core

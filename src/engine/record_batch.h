@@ -51,6 +51,25 @@ struct RecordBatch {
   std::uint32_t route_strata = 0;
   std::uint32_t total_strata = 0;
 
+  /// Sentinel for `channel`: the producer did not stamp channel identity.
+  static constexpr std::uint32_t kNoChannel =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Morsel identity for the work-stealing scheduler. `channel` is the
+  /// global channel index (exchange_index * workers + worker) the batch was
+  /// routed to, and `seq` counts batches per channel from 0 with no gaps.
+  /// A thief that absorbs a stolen morsel reports (channel, seq) done; the
+  /// completion tracker only advances a channel's watermark clock over the
+  /// contiguous prefix of completed sequence numbers, preserving the PR 2
+  /// invariant that a stamped watermark covers only already-absorbed data
+  /// even when morsels complete out of order.
+  std::uint32_t channel = kNoChannel;
+  std::uint64_t seq = 0;
+  /// True for watermark-only heartbeats (no records). They recycle through
+  /// a dedicated zero-reserve pool so idle channels never pin full-capacity
+  /// record buffers.
+  bool heartbeat = false;
+
   std::size_t size() const noexcept { return records.size(); }
   bool empty() const noexcept { return records.empty(); }
 
@@ -62,6 +81,9 @@ struct RecordBatch {
     watermark_us = kNoWatermark;
     route_strata = 0;
     total_strata = 0;
+    channel = kNoChannel;
+    seq = 0;
+    heartbeat = false;
   }
 };
 

@@ -15,9 +15,14 @@ Exchange::Exchange(Broker& broker, const std::string& topic,
     : config_(config), pool_(std::max<std::size_t>(1, config.batch_size)) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.exchange_count == 0) config_.exchange_count = 1;
+  config_.exchange_index %= config_.exchange_count;
   const std::size_t partitions = broker.topic(topic).partition_count();
-  inputs_.reserve(partitions);
-  for (std::size_t p = 0; p < partitions; ++p) {
+  // Shard ownership: partition p belongs to exchange p % E. A shard past the
+  // partition count owns nothing and resolves straight to flush — it never
+  // gates the min-combined watermark.
+  for (std::size_t p = config_.exchange_index; p < partitions;
+       p += config_.exchange_count) {
     inputs_.emplace_back(broker, topic, std::vector<std::size_t>{p});
   }
   rings_.reserve(config_.workers);
@@ -25,6 +30,7 @@ Exchange::Exchange(Broker& broker, const std::string& topic,
     rings_.push_back(std::make_unique<SpscRing<BatchPtr>>(
         std::max<std::size_t>(2, config_.ring_capacity)));
   }
+  next_seq_.assign(config_.workers, 0);
 }
 
 void Exchange::push_channel(std::size_t w, BatchPtr batch) {
@@ -71,6 +77,11 @@ void Exchange::run() {
         if (!out[w]) out[w] = pool_.acquire();
         out[w]->records.push_back(record);
         round_clock[p] = std::max(round_clock[p], record.event_time_us);
+        if (record.event_time_us >
+            max_routed_event_us_.load(std::memory_order_relaxed)) {
+          max_routed_event_us_.store(record.event_time_us,
+                                     std::memory_order_relaxed);
+        }
       }
     }
 
@@ -95,9 +106,9 @@ void Exchange::run() {
         grace.millis() >
         static_cast<double>(config_.idle_partition_timeout_ms);
     const auto view = core::evaluate_watermark(clocks, grace_over);
-    const std::int64_t resolved = view.blocked ? engine::kNoWatermark
-                                  : view.flush_all() ? engine::kWatermarkFlush
-                                                     : view.watermark;
+    // resolve_watermark's sentinels are numerically the engine's watermark
+    // sentinels, so the policy-complete value is forwarded unchanged.
+    const std::int64_t resolved = core::resolve_watermark(view);
 
     const auto total_strata =
         static_cast<std::uint32_t>(strata_seen.size());
@@ -106,6 +117,7 @@ void Exchange::run() {
         out[w]->watermark_us = resolved;
         out[w]->route_strata = channel_strata[w];
         out[w]->total_strata = total_strata;
+        stamp_identity(w, *out[w]);
         records_routed_.fetch_add(out[w]->size(), std::memory_order_relaxed);
         batches_emitted_.fetch_add(1, std::memory_order_relaxed);
         push_channel(w, std::move(out[w]));
@@ -114,10 +126,14 @@ void Exchange::run() {
         // Watermark-only heartbeat: a channel with no data in flight must
         // still learn the watermark or its worker would gate the merger
         // forever (and the end-of-stream flush would never reach it).
-        auto heartbeat = pool_.acquire();
+        // Heartbeats recycle through their own zero-reserve pool — a stalled
+        // topology ticks watermarks without pinning record capacity.
+        auto heartbeat = heartbeat_pool_.acquire();
         heartbeat->watermark_us = resolved;
         heartbeat->route_strata = channel_strata[w];
         heartbeat->total_strata = total_strata;
+        heartbeat->heartbeat = true;
+        stamp_identity(w, *heartbeat);
         heartbeats_emitted_.fetch_add(1, std::memory_order_relaxed);
         push_channel(w, std::move(heartbeat));
         last_sent[w] = resolved;

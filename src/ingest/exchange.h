@@ -1,10 +1,14 @@
-// The repartitioning exchange stage of the batched data plane: one operator
-// that consumes record batches from every partition of a topic and re-keys
-// them by stratum hash onto M single-producer/single-consumer channels, so
-// the number of downstream workers is decoupled from the topic's partition
-// count (a 2-partition topic can feed 8 workers). This is the exchange
-// operator of morsel-driven engines (Leis et al., SIGMOD'14) applied to the
-// paper's Kafka deployment: batches, not records, cross thread boundaries.
+// The repartitioning exchange stage of the batched data plane: an operator
+// that consumes record batches from a subset of a topic's partitions and
+// re-keys them by stratum hash onto M single-producer/single-consumer
+// channels, so the number of downstream workers is decoupled from the
+// topic's partition count (a 2-partition topic can feed 8 workers). This is
+// the exchange operator of morsel-driven engines (Leis et al., SIGMOD'14)
+// applied to the paper's Kafka deployment: batches, not records, cross
+// thread boundaries. The exchange itself shards: E instances (exchange_index
+// / exchange_count in the config) each own the partitions p with p % E ==
+// index, run on their own threads, and feed disjoint channel sets whose
+// per-shard watermarks min-combine downstream.
 //
 // Watermark transport. The exchange owns the per-partition high-water clocks
 // and the idle-partition grace policy of core/watermark.h, min-combines them
@@ -54,6 +58,13 @@ struct ExchangeConfig {
   std::size_t ring_capacity = 64;
   /// Grace period for partitions that never delivered (core/watermark.h).
   std::int64_t idle_partition_timeout_ms = 1000;
+  /// Sharded-exchange identity: this instance owns the topic partitions p
+  /// with p % exchange_count == exchange_index and runs on its own thread.
+  /// Each shard resolves the watermark over ITS partitions only; downstream
+  /// min-combines the per-shard values (core::resolve_watermark explains why
+  /// that composes). Defaults describe the classic single-exchange layout.
+  std::size_t exchange_index = 0;
+  std::size_t exchange_count = 1;
 };
 
 /// Repartitions a topic's partition batches onto worker channels by stratum
@@ -78,11 +89,28 @@ class Exchange {
     return batch ? std::move(*batch) : nullptr;
   }
 
+  /// Drains up to `max` batches of channel `w` into `out` (appending) in one
+  /// ring synchronisation; returns the number taken. The batch-out mirror of
+  /// Consumer::poll: the morsel scheduler refills its whole deque per call.
+  std::size_t pop_n(std::size_t w, std::vector<BatchPtr>& out,
+                    std::size_t max) {
+    return rings_[w]->pop_n(out, max);
+  }
+
   /// True when channel `w` is closed and fully consumed (end of stream).
   bool drained(std::size_t w) const { return rings_[w]->drained(); }
 
-  /// Returns a consumed batch to the pool.
-  void recycle(BatchPtr batch) { pool_.release(std::move(batch)); }
+  /// Returns a consumed batch to the pool it came from (heartbeats recycle
+  /// through a dedicated zero-reserve pool so they never pin record
+  /// capacity).
+  void recycle(BatchPtr batch) {
+    if (!batch) return;
+    if (batch->heartbeat) {
+      heartbeat_pool_.release(std::move(batch));
+    } else {
+      pool_.release(std::move(batch));
+    }
+  }
 
   /// Number of output channels.
   std::size_t worker_count() const noexcept { return config_.workers; }
@@ -112,20 +140,43 @@ class Exchange {
   }
   /// Batch-pool allocation high-water mark (steady state stops growing).
   std::size_t batches_allocated() const { return pool_.allocated(); }
+  /// Heartbeat-pool allocation high-water mark.
+  std::size_t heartbeats_allocated() const {
+    return heartbeat_pool_.allocated();
+  }
+  /// Highest event time routed downstream so far (kNoWatermark before any).
+  /// The merger subtracts a slide's end from this at close time to measure
+  /// watermark lag — how far ingest had run ahead when the slide sealed.
+  std::int64_t max_routed_event_us() const noexcept {
+    return max_routed_event_us_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Blocks until channel `w` accepts `batch` (condvar-backed backpressure:
   /// the exchange thread parks while the worker is behind).
   void push_channel(std::size_t w, BatchPtr batch);
 
+  /// Stamps morsel identity: global channel index plus the channel's gapless
+  /// sequence number (the completion tracker's contiguous-prefix input).
+  void stamp_identity(std::size_t w, engine::RecordBatch& batch) {
+    batch.channel =
+        static_cast<std::uint32_t>(config_.exchange_index * config_.workers +
+                                   w);
+    batch.seq = next_seq_[w]++;
+  }
+
   ExchangeConfig config_;
-  std::vector<Consumer> inputs_;  ///< one single-partition consumer each
+  std::vector<Consumer> inputs_;  ///< one consumer per OWNED partition
   std::vector<std::unique_ptr<SpscRing<BatchPtr>>> rings_;
   engine::BatchPool pool_;
+  /// Watermark-only heartbeats: zero capacity reserve, recycled separately.
+  engine::BatchPool heartbeat_pool_{0};
+  std::vector<std::uint64_t> next_seq_;  ///< per-channel, exchange thread only
 
   std::atomic<std::uint64_t> batches_emitted_{0};
   std::atomic<std::uint64_t> heartbeats_emitted_{0};
   std::atomic<std::uint64_t> records_routed_{0};
+  std::atomic<std::int64_t> max_routed_event_us_{engine::kNoWatermark};
 };
 
 }  // namespace streamapprox::ingest

@@ -370,6 +370,128 @@ TEST(ParallelEquivalence, OccupancyAwareBudgetSplitRestoresSamplingFraction) {
   EXPECT_GT(sharded_fraction, 0.8 * sequential_fraction);
 }
 
+// ---------------------------------------------------------------------------
+// Work-stealing morsel scheduler: stolen morsels are absorbed into the
+// thief's local samplers and merged at slide close, so redistribution must
+// never change WHAT a window sees — only WHO processed it.
+
+/// One hot stratum carrying most of the load: stratum-affine routing piles
+/// the whole hot sub-stream onto a single channel, which is exactly the skew
+/// that forces the scheduler to redistribute.
+std::vector<engine::Record> make_hot_stream(double seconds, double rate,
+                                            std::uint64_t seed) {
+  constexpr std::size_t kStrata = 8;
+  std::vector<workload::SubStreamSpec> specs;
+  specs.reserve(kStrata);
+  for (std::size_t i = 0; i < kStrata; ++i) {
+    workload::SubStreamSpec spec;
+    spec.id = static_cast<sampling::StratumId>(i);
+    spec.dist = workload::Gaussian{100.0 * static_cast<double>(i + 1), 10.0};
+    spec.rate_per_sec = i == 0
+                            ? rate * 0.8
+                            : rate * 0.2 / static_cast<double>(kStrata - 1);
+    specs.push_back(spec);
+  }
+  workload::SyntheticStream stream(specs, seed);
+  return stream.generate(seconds);
+}
+
+struct StatsRun {
+  std::vector<WindowOutput> outputs;
+  ShardedRunStats stats;
+};
+
+/// run_mode plus the scheduler counters of the sharded run.
+StatsRun run_mode_with_stats(
+    const std::vector<engine::Record>& records, std::size_t workers,
+    std::size_t partitions,
+    const std::function<void(StreamApproxConfig&)>& mutate = {}) {
+  ingest::Broker broker;
+  broker.create_topic("input", partitions);
+  ingest::ReplayTool replay(broker, "input", records, {});
+  auto config = base_config(workers);
+  if (mutate) mutate(config);
+  StreamApprox system(broker, config);
+  StatsRun run;
+  system.run(
+      [&](const WindowOutput& output) { run.outputs.push_back(output); });
+  replay.wait();
+  run.stats = system.last_run_stats();
+  return run;
+}
+
+void expect_identical_windows(const std::vector<WindowOutput>& sequential,
+                              const std::vector<WindowOutput>& sharded) {
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen)
+        << "window " << i;
+    EXPECT_EQ(sequential[i].estimate.window_end_us,
+              sharded[i].estimate.window_end_us)
+        << "window " << i;
+  }
+}
+
+TEST(WorkStealing, ForcedStealsMatchSequential) {
+  // Satellite acceptance: deliberately tiny deques (capacity 2) + one hot
+  // stratum + per-record ingest cost force the hot channel's backlog through
+  // the injector and the thieves' steal path — and every window must still
+  // see exactly the sequential path's records, because stolen morsels land
+  // in mergeable per-slide samplers and the per-channel completion tracker
+  // keeps the watermark honest under out-of-order absorption.
+  const auto records = make_hot_stream(3.0, 12000.0, 21);
+  const auto sequential = run_mode(records, 1, 2);
+  const auto sharded = run_mode_with_stats(
+      records, 8, 2, [](StreamApproxConfig& c) {
+        c.steal_deque_capacity = 2;
+        c.ingest_cost = {500};
+      });
+
+  EXPECT_GT(sharded.stats.steals + sharded.stats.injector_pushes, 0u)
+      << "the scheduler never redistributed work — the test lost its point";
+  EXPECT_EQ(sharded.stats.injector_pushes, sharded.stats.injector_pops)
+      << "morsels orphaned in the injector";
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_windows(sequential, sharded.outputs);
+}
+
+TEST(WorkStealing, MultiExchangeMatchesSequential) {
+  // Two exchange shards split the partition poll/route work; the merger
+  // min-combines watermarks across both shards' channels. Records and
+  // window boundaries must be unchanged.
+  const auto records = make_stream(3.0, 20000.0, 22);
+  const auto sequential = run_mode(records, 1, 4);
+  const auto sharded = run_mode_with_stats(
+      records, 4, 4, [](StreamApproxConfig& c) { c.exchanges = 2; });
+  EXPECT_EQ(sharded.stats.exchanges, 2u);
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_windows(sequential, sharded.outputs);
+}
+
+TEST(WorkStealing, MoreExchangesThanPartitions) {
+  // 5 shards over 2 partitions: three shards own nothing and must resolve
+  // straight to flush instead of gating the min-combined watermark.
+  const auto records = make_stream(3.0, 20000.0, 23);
+  const auto sequential = run_mode(records, 1, 2);
+  const auto sharded = run_mode_with_stats(
+      records, 4, 2, [](StreamApproxConfig& c) { c.exchanges = 5; });
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_windows(sequential, sharded.outputs);
+}
+
+TEST(WorkStealing, StaticBindingStillMatchesSequential) {
+  // work_stealing=false keeps the PR 2 static worker↔channel binding as a
+  // supported schedule (the bench's baseline); it must stay equivalent.
+  const auto records = make_hot_stream(3.0, 12000.0, 24);
+  const auto sequential = run_mode(records, 1, 2);
+  const auto sharded = run_mode_with_stats(
+      records, 4, 2, [](StreamApproxConfig& c) { c.work_stealing = false; });
+  EXPECT_EQ(sharded.stats.steals, 0u);
+  EXPECT_EQ(sharded.stats.injector_pushes, 0u);
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_windows(sequential, sharded.outputs);
+}
+
 TEST(ParallelEquivalence, ShardedAdaptiveBudgetStillGrows) {
   const auto records = make_stream(5.0, 30000.0, 11);
   ingest::Broker broker;

@@ -205,6 +205,159 @@ TEST(SpscRing, DrainedSemantics) {
   EXPECT_TRUE(ring.drained());
 }
 
+TEST(SpscRing, PopNDrainsInFifoOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ring.try_push(i));
+  std::vector<int> out;
+  EXPECT_EQ(ring.pop_n(out, 4), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  // Appends to the same vector; asks for more than remains.
+  EXPECT_EQ(ring.pop_n(out, 100), 6u);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(ring.pop_n(out, 4), 0u);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(SpscRing, PopNWakesBlockedProducer) {
+  // The batch drain must hit the same producer-wakeup path as try_pop: a
+  // producer parked on a full ring resumes once pop_n frees slots.
+  SpscRing<int> ring(2);
+  int fill = 0;
+  while (ring.try_push(fill)) ++fill;
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(ring.push(99));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  std::vector<int> out;
+  ASSERT_GT(ring.pop_n(out, 64), 0u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  while (ring.pop_n(out, 64) > 0) {
+  }
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), 99);
+}
+
+TEST(StealDeque, OwnerPopsLifo) {
+  StealDeque<int> deque(8);
+  EXPECT_TRUE(deque.empty());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(deque.push_bottom(i));
+  EXPECT_EQ(deque.size(), 5u);
+  for (int i = 4; i >= 0; --i) EXPECT_EQ(deque.pop_bottom().value(), i);
+  EXPECT_FALSE(deque.pop_bottom().has_value());
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(StealDeque, ThiefStealsFifo) {
+  StealDeque<int> deque(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(deque.push_bottom(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(deque.steal_top().value(), i);
+  EXPECT_FALSE(deque.steal_top().has_value());
+}
+
+TEST(StealDeque, FullRejectsPushUntilDrained) {
+  StealDeque<int> deque(4);
+  int pushed = 0;
+  while (deque.push_bottom(pushed)) ++pushed;
+  EXPECT_EQ(pushed, 4);
+  EXPECT_EQ(deque.size(), deque.capacity());
+  // Either end freeing a slot re-enables the owner's push.
+  EXPECT_EQ(deque.steal_top().value(), 0);
+  EXPECT_TRUE(deque.push_bottom(4));
+  EXPECT_FALSE(deque.push_bottom(5));
+  EXPECT_EQ(deque.pop_bottom().value(), 4);
+  EXPECT_TRUE(deque.push_bottom(5));
+}
+
+TEST(StealDeque, InterleavedOwnerAndThiefSingleThread) {
+  // The ring indexing must survive top/bottom lapping the capacity many
+  // times over.
+  StealDeque<int> deque(4);
+  int next = 0;
+  long long sum = 0;
+  int taken = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (deque.push_bottom(next)) ++next;
+    if (auto v = deque.steal_top()) {
+      sum += *v;
+      ++taken;
+    }
+    if (auto v = deque.pop_bottom()) {
+      sum += *v;
+      ++taken;
+    }
+  }
+  while (auto v = deque.pop_bottom()) {
+    sum += *v;
+    ++taken;
+  }
+  EXPECT_EQ(taken, next);
+  EXPECT_EQ(sum, static_cast<long long>(next) * (next - 1) / 2);
+}
+
+TEST(StealDeque, OwnerThiefRaceLosesNothing) {
+  // The Chase-Lev owner/thief race, TSan-exercised: one owner pushing and
+  // popping its own bottom while three thieves hammer the top. Every element
+  // must be taken exactly once — the last-element CAS race decides WHO gets
+  // an element, never whether it is lost or duplicated.
+  constexpr int kCount = 100000;
+  constexpr int kThieves = 3;
+  StealDeque<int> deque(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> taken{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = deque.steal_top()) {
+          sum += *v;
+          ++taken;
+        }
+      }
+      while (auto v = deque.steal_top()) {
+        sum += *v;
+        ++taken;
+      }
+    });
+  }
+
+  for (int i = 0; i < kCount; ++i) {
+    while (!deque.push_bottom(i)) {
+      if (auto v = deque.pop_bottom()) {
+        sum += *v;
+        ++taken;
+      }
+    }
+    if ((i & 7) == 0) {
+      if (auto v = deque.pop_bottom()) {
+        sum += *v;
+        ++taken;
+      }
+    }
+  }
+  // pop_bottom only returns empty when the deque IS empty or a thief won
+  // the last element — either way nothing is left behind for the owner.
+  while (auto v = deque.pop_bottom()) {
+    sum += *v;
+    ++taken;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& thief : thieves) thief.join();
+
+  EXPECT_EQ(taken.load(), kCount);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
 TEST(SpscRing, CrossThreadTransferPreservesAll) {
   constexpr int kCount = 200000;
   SpscRing<int> ring(1024);

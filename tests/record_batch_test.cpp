@@ -29,6 +29,24 @@ TEST(RecordBatch, DefaultsAndReset) {
   EXPECT_EQ(batch.records.capacity(), capacity);
 }
 
+TEST(RecordBatch, ResetClearsMorselIdentity) {
+  // The work-stealing scheduler keys its per-channel completion tracking on
+  // channel/seq/heartbeat; a recycled batch must never leak a previous
+  // morsel's identity into the next emission.
+  RecordBatch batch;
+  EXPECT_EQ(batch.channel, RecordBatch::kNoChannel);
+  EXPECT_EQ(batch.seq, 0u);
+  EXPECT_FALSE(batch.heartbeat);
+
+  batch.channel = 7;
+  batch.seq = 42;
+  batch.heartbeat = true;
+  batch.reset();
+  EXPECT_EQ(batch.channel, RecordBatch::kNoChannel);
+  EXPECT_EQ(batch.seq, 0u);
+  EXPECT_FALSE(batch.heartbeat);
+}
+
 TEST(BatchPool, RecyclesInsteadOfAllocating) {
   BatchPool pool(/*reserve_records=*/16);
   auto first = pool.acquire();

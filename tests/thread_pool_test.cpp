@@ -5,7 +5,13 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
 
 namespace streamapprox {
 namespace {
@@ -102,6 +108,43 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor joins after draining
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SetCurrentThreadNameTruncatesToKernelLimit) {
+  // Linux caps thread names at 15 chars + NUL; the helper must truncate
+  // instead of failing (pthread_setname_np rejects long names outright).
+  std::thread thread([] {
+    set_current_thread_name("sa-name-way-too-long-for-the-kernel");
+#ifdef __linux__
+    char buffer[32] = {};
+    ASSERT_EQ(pthread_getname_np(pthread_self(), buffer, sizeof(buffer)), 0);
+    EXPECT_EQ(std::string(buffer), "sa-name-way-too");
+#endif
+  });
+  thread.join();
+  // Null is a no-op, not a crash.
+  set_current_thread_name(nullptr);
+}
+
+TEST(ThreadPool, NamedPoolWorkersCarryThePrefix) {
+  ThreadPool pool(2, "sa-test");
+  std::atomic<int> checked{0};
+  std::promise<void> done;
+  auto future = done.get_future();
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+#ifdef __linux__
+      char buffer[32] = {};
+      if (pthread_getname_np(pthread_self(), buffer, sizeof(buffer)) == 0) {
+        EXPECT_EQ(std::string(buffer).rfind("sa-test-", 0), 0u)
+            << "worker thread named '" << buffer << "'";
+      }
+#endif
+      if (checked.fetch_add(1) + 1 == 16) done.set_value();
+    });
+  }
+  future.wait();
+  EXPECT_EQ(checked.load(), 16);
 }
 
 TEST(ThreadPool, NestedStagesSequential) {
