@@ -2,8 +2,21 @@
 // sampling algorithm in isolation, plus the ablations DESIGN.md calls out
 // (Algorithm R vs Algorithm L, OASRS allocation policies, ScaSRS vs
 // Bernoulli, grouping cost of STS).
+//
+// Before the google-benchmark suite runs, main() measures the skip-ahead
+// kernel ablation (per-record Algorithm R / batched Algorithm R / per-record
+// skip-ahead / bulk skip-ahead kernel, each at 1% / 10% / 50% effective
+// sampling fractions) and saves it to BENCH_micro_samplers.json, so CI can
+// schema-check and archive the trajectory like the fig_* benches.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/clock.h"
 #include "common/rng.h"
 #include "engine/record.h"
 #include "sampling/oasrs.h"
@@ -51,6 +64,26 @@ void BM_ReservoirAlgorithmL(benchmark::State& state) {
                           static_cast<std::int64_t>(records.size()));
 }
 BENCHMARK(BM_ReservoirAlgorithmL)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The bulk-offer kernel on exchange-shaped runs: with a saturated reservoir
+// it touches only the geometric acceptance positions of each run.
+
+void BM_ReservoirBulkKernel(benchmark::State& state) {
+  const auto records = bench_stream(1 << 16);
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRun = 1024;
+  for (auto _ : state) {
+    sampling::FastReservoirSampler<Record> reservoir(capacity, 7);
+    for (std::size_t i = 0; i < records.size(); i += kRun) {
+      reservoir.offer_run(records.data() + i,
+                          std::min(kRun, records.size() - i));
+    }
+    benchmark::DoNotOptimize(reservoir.items().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ReservoirBulkKernel)->Arg(64)->Arg(1024)->Arg(16384);
 
 // ---- OASRS end-to-end offer cost (3 strata, budget = 10% of stream).
 
@@ -160,6 +193,122 @@ BENCHMARK(BM_OasrsAllocationPolicy)
     ->Arg(static_cast<int>(sampling::AllocationPolicy::kEqual))
     ->Arg(static_cast<int>(sampling::AllocationPolicy::kProportional));
 
+// ---- Saved skip-ahead ablation: BENCH_micro_samplers.json -----------------
+
+/// Exchange-shaped workload: same-stratum chunks of `kRunLength` records
+/// rotating over `kStrata` strata — the run shape the repartitioning
+/// exchange stamps into its run descriptors.
+constexpr std::size_t kStrata = 4;
+constexpr std::size_t kRunLength = 1024;
+
+std::vector<Record> chunked_stream(std::size_t n) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(Record{
+        static_cast<sampling::StratumId>((i / kRunLength) % kStrata),
+        static_cast<double>(i % 1000),
+        static_cast<std::int64_t>(i) * 100});
+  }
+  return records;
+}
+
+sampling::OasrsConfig ablation_config(std::size_t budget, bool skip_ahead) {
+  sampling::OasrsConfig config;
+  config.total_budget = budget;
+  config.seed = 0xbeef;
+  config.skip_ahead = skip_ahead;
+  return config;
+}
+
+/// One timed mode: `passes` fresh samplers over the whole stream, wall time
+/// summed across passes (one untimed warm-up first).
+template <typename OfferAll>
+bench::Json measure_mode(const char* mode, const std::vector<Record>& records,
+                         std::size_t budget, double fraction, int passes,
+                         bool skip_ahead, OfferAll&& offer_all) {
+  const auto one_pass = [&] {
+    auto sampler =
+        sampling::make_oasrs<Record>(ablation_config(budget, skip_ahead));
+    offer_all(sampler);
+    auto sample = sampler.take();
+    benchmark::DoNotOptimize(sample.strata.data());
+  };
+  one_pass();  // warm-up
+  Stopwatch watch;
+  for (int p = 0; p < passes; ++p) one_pass();
+  const double wall = watch.seconds();
+  const double total =
+      static_cast<double>(records.size()) * static_cast<double>(passes);
+  auto run = bench::Json::object();
+  run.set("mode", mode);
+  run.set("workers", 1);
+  run.set("fraction", fraction);
+  run.set("budget", static_cast<std::uint64_t>(budget));
+  run.set("throughput", wall > 0.0 ? total / wall : 0.0);
+  run.set("wall_seconds", wall);
+  run.set("records_per_pass", static_cast<std::uint64_t>(records.size()));
+  run.set("passes", passes);
+  return run;
+}
+
+/// The skip-ahead ablation: four offer paths at three effective sampling
+/// fractions. At 1% the reservoirs saturate almost immediately, which is the
+/// regime the bulk kernel's O(accepted) claim is about.
+void write_skip_ahead_json() {
+  const std::size_t n = bench::scaled(std::size_t{1} << 20);
+  const auto records = chunked_stream(n);
+  const int passes = 5;
+  const double fractions[] = {0.01, 0.10, 0.50};
+
+  auto runs = bench::Json::array();
+  for (const double fraction : fractions) {
+    const auto budget = static_cast<std::size_t>(
+        std::max(4.0, static_cast<double>(n) * fraction));
+    const auto per_record = [&](auto& sampler) {
+      for (const auto& record : records) sampler.offer(record);
+    };
+    const auto batched = [&](auto& sampler) {
+      sampler.offer_batch(records.data(), records.size());
+    };
+    const auto bulk_runs = [&](auto& sampler) {
+      for (std::size_t i = 0; i < records.size(); i += kRunLength) {
+        const std::size_t len = std::min(kRunLength, records.size() - i);
+        sampler.offer_run(records[i].stratum, records.data() + i, len);
+      }
+    };
+    runs.push(measure_mode("algorithm_r_offer", records, budget, fraction,
+                           passes, /*skip_ahead=*/false, per_record));
+    runs.push(measure_mode("algorithm_r_offer_batch", records, budget,
+                           fraction, passes, /*skip_ahead=*/false, batched));
+    runs.push(measure_mode("skip_ahead_offer", records, budget, fraction,
+                           passes, /*skip_ahead=*/true, per_record));
+    runs.push(measure_mode("skip_ahead_bulk_kernel", records, budget,
+                           fraction, passes, /*skip_ahead=*/true, bulk_runs));
+  }
+
+  auto body = bench::Json::object();
+  auto meta = bench::Json::object();
+  meta.set("scale", bench::bench_scale());
+  meta.set("records_per_pass", static_cast<std::uint64_t>(n));
+  meta.set("passes", passes);
+  meta.set("strata", static_cast<std::uint64_t>(kStrata));
+  meta.set("run_length", static_cast<std::uint64_t>(kRunLength));
+  body.set("meta", std::move(meta));
+  body.set("runs", std::move(runs));
+  const std::string path = bench::write_bench_json("micro_samplers", body);
+  if (!path.empty()) {
+    std::printf("skip-ahead ablation saved to %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_skip_ahead_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -178,6 +178,11 @@ struct ShardedPlan {
   /// Group mode only: total strata discovered across all workers (exchange
   /// mode carries the deterministic equivalent on every batch stamp).
   std::atomic<std::size_t> total_strata{0};
+  /// Skip-ahead kernel totals, accumulated by the merger at each slide close
+  /// (worker sampler stats ride along through OasrsSampler::merge).
+  std::atomic<std::uint64_t> sampler_bulk_runs{0};
+  std::atomic<std::uint64_t> sampler_accepts{0};
+  std::atomic<std::uint64_t> sampler_skipped{0};
 
   ShardedPlan(PipelineDriver& driver, std::vector<Shard>& shards,
               std::size_t workers, std::int64_t slide_us)
@@ -208,7 +213,12 @@ void apply_occupancy_locked(ShardedPlan& plan, std::size_t w, Shard& shard,
 
 /// Routes one batch into worker `w`'s local per-slide samplers: one mutex
 /// acquisition per batch, one slide-map lookup per run of consecutive
-/// same-slide records, one OASRS offer_batch per run. `my_strata` /
+/// same-slide records, one OASRS bulk offer per run. `runs`/`run_count` are
+/// the batch's stratum run descriptors when the producer stamped them
+/// (exchange mode) — each slide run is intersected with them and fed to the
+/// sampler's offer_run fast path, which skips key extraction per record and
+/// (with skip-ahead on) never reads the records a saturated reservoir
+/// rejects; nullptr/0 falls back to per-record keying. `my_strata` /
 /// `total_strata` is the stratum-occupancy stamp in force for this batch
 /// (exchange mode: carried on the batch; group mode: worker-local
 /// discovery), driving the occupancy-aware budget split. `apply_stamp` is
@@ -217,6 +227,7 @@ void apply_occupancy_locked(ShardedPlan& plan, std::size_t w, Shard& shard,
 /// its own occupancy share (records_seen is unaffected either way).
 void absorb_batch(ShardedPlan& plan, std::size_t w,
                   const engine::Record* records, std::size_t count,
+                  const engine::StratumRun* runs, std::size_t run_count,
                   std::size_t my_strata, std::size_t total_strata,
                   bool apply_stamp = true) {
   Shard& shard = plan.shards[w];
@@ -226,6 +237,11 @@ void absorb_batch(ShardedPlan& plan, std::size_t w,
   }
   const std::int64_t frozen =
       plan.closed_through.load(std::memory_order_acquire);
+  // Cursor into the stratum run descriptors, shared across slide runs: both
+  // segmentations walk the batch left to right, so one forward pass covers
+  // every intersection even when a stratum run straddles a slide boundary
+  // (or a late-dropped slide consumed part of it).
+  std::size_t ri = 0;
   engine::for_each_slide_run(
       records, count, plan.slide_us,
       [&](std::int64_t slide, const engine::Record* run, std::size_t n) {
@@ -242,7 +258,26 @@ void absorb_batch(ShardedPlan& plan, std::size_t w,
                    .first;
           atomic_min(plan.first_slide, slide);
         }
-        it->second.offer_batch(run, n);
+        if (run_count == 0) {
+          it->second.offer_batch(run, n);
+          return;
+        }
+        const std::size_t begin = static_cast<std::size_t>(run - records);
+        const std::size_t slide_end = begin + n;
+        while (ri < run_count &&
+               runs[ri].offset + runs[ri].length <= begin) {
+          ++ri;
+        }
+        std::size_t pos = begin;
+        while (pos < slide_end) {
+          const engine::StratumRun& sr = runs[ri];
+          const std::size_t sr_end = sr.offset + sr.length;
+          const std::size_t take =
+              std::min<std::size_t>(sr_end, slide_end) - pos;
+          it->second.offer_run(sr.stratum, records + pos, take);
+          pos += take;
+          if (sr_end <= pos) ++ri;
+        }
       });
 }
 
@@ -278,6 +313,12 @@ void merge_until_done(ShardedPlan& plan,
       }
       if (node) merged.merge(node.mapped());
     }
+    // Kernel counters rode along through merge(); the extracted per-slide
+    // samplers are destroyed below, so this is the one place to bank them.
+    const auto& ks = merged.kernel_stats();
+    plan.sampler_bulk_runs.fetch_add(ks.bulk_runs, std::memory_order_relaxed);
+    plan.sampler_accepts.fetch_add(ks.accepted, std::memory_order_relaxed);
+    plan.sampler_skipped.fetch_add(ks.skipped, std::memory_order_relaxed);
     plan.driver.close_slide_sample(slide, merged.take());
     after_close(slide);
   };
@@ -471,8 +512,10 @@ void StreamApprox::run_sharded(
             }
             std::size_t my = 0, total = 0;
             summed_occupancy(my, total);
-            absorb_batch(plan, w, batch->records.data(), batch->size(), my,
-                         total, /*apply_stamp=*/own);
+            absorb_batch(plan, w, batch->records.data(), batch->size(),
+                         batch->stratum_runs.data(),
+                         batch->stratum_runs.size(), my, total,
+                         /*apply_stamp=*/own);
             ++n_batches;
             n_records += batch->size();
             progress.complete(batch->channel, batch->seq,
@@ -676,6 +719,7 @@ void StreamApprox::run_sharded(
               }
             }
             absorb_batch(plan, w, records.data(), records.size(),
+                         /*runs=*/nullptr, /*run_count=*/0,
                          own.local_strata.size(),
                          plan.total_strata.load(std::memory_order_acquire));
             // Publish clocks after the samplers absorbed the batch, so the
@@ -707,6 +751,10 @@ void StreamApprox::run_sharded(
     merge_until_done(plan, clocks, /*apply_idle_grace=*/true,
                      config_.idle_partition_timeout_ms, after_close);
   }
+
+  run_stats_.sampler_bulk_runs = plan.sampler_bulk_runs.load();
+  run_stats_.sampler_accepts = plan.sampler_accepts.load();
+  run_stats_.sampler_skipped = plan.sampler_skipped.load();
 
   driver.finish();  // no-op safeguard: external mode leaves nothing open
   slide_budget_ = driver.current_budget();

@@ -124,6 +124,7 @@ PipelineDriverConfig StreamApprox::driver_config() const {
   driver.z = config_.z;
   driver.histogram = config_.histogram;
   driver.seed = config_.seed;
+  driver.skip_ahead_sampling = config_.skip_ahead_sampling;
   return driver;
 }
 

@@ -112,6 +112,12 @@ struct StreamApproxConfig {
   /// two). Small values force overflow through the injector queue; the
   /// equivalence tests use that to exercise stealing deterministically.
   std::size_t steal_deque_capacity = 64;
+  /// Sample with the skip-ahead kernel (Algorithm L + bulk offers over the
+  /// exchange's stratum run descriptors): per-record cost is O(accepted /
+  /// arrived) amortised on saturated reservoirs, with identical sampling
+  /// distribution, C_i / W_i counters, watermarks and budget accounting.
+  /// false restores the bit-exact per-record Algorithm R path.
+  bool skip_ahead_sampling = true;
   /// Grace period after which a partition that has NEVER delivered a record
   /// stops gating the watermark (Kafka's idleness rule), so a topic with
   /// more partitions than sub-streams still emits windows on a live,
@@ -148,6 +154,14 @@ struct ShardedRunStats {
   std::uint64_t batches_absorbed = 0;
   std::uint64_t heartbeats_absorbed = 0;
   std::uint64_t records_absorbed = 0;
+  /// Skip-ahead kernel totals (exchange mode): bulk runs fed to samplers,
+  /// records accepted into reservoirs, and records skipped (arrived while
+  /// the reservoir was saturated and never written — with skip-ahead on,
+  /// never even read). accepts + skipped can trail records_absorbed when
+  /// late runs are dropped before reaching a sampler.
+  std::uint64_t sampler_bulk_runs = 0;
+  std::uint64_t sampler_accepts = 0;
+  std::uint64_t sampler_skipped = 0;
   /// Records absorbed per worker index (steals shift mass between entries).
   std::vector<std::uint64_t> per_worker_records;
   /// Watermark lag sampled at each slide close: max event time routed by

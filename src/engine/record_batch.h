@@ -27,6 +27,17 @@ inline constexpr std::int64_t kNoWatermark =
 inline constexpr std::int64_t kWatermarkFlush =
     std::numeric_limits<std::int64_t>::max();
 
+/// Descriptor of a contiguous same-stratum run inside a RecordBatch:
+/// records [offset, offset + length) all carry `stratum`. The repartitioning
+/// exchange stamps these at routing time — it already reads every record's
+/// stratum to route it — so downstream samplers can feed whole runs to the
+/// skip-ahead bulk kernel without re-deriving the key per record.
+struct StratumRun {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  sampling::StratumId stratum = 0;
+};
+
 /// One batch of records moving between data-plane stages.
 struct RecordBatch {
   /// Sentinel for `source_partition`: records from several partitions.
@@ -69,6 +80,11 @@ struct RecordBatch {
   /// a dedicated zero-reserve pool so idle channels never pin full-capacity
   /// record buffers.
   bool heartbeat = false;
+  /// Same-stratum run descriptors covering `records` exactly, in order, when
+  /// the producer stamps them (the repartitioning exchange does); empty when
+  /// it does not. Consumers must treat an empty list on a non-empty batch as
+  /// "not stamped", not "zero runs".
+  std::vector<StratumRun> stratum_runs;
 
   std::size_t size() const noexcept { return records.size(); }
   bool empty() const noexcept { return records.empty(); }
@@ -84,6 +100,7 @@ struct RecordBatch {
     channel = kNoChannel;
     seq = 0;
     heartbeat = false;
+    stratum_runs.clear();
   }
 };
 

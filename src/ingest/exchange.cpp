@@ -76,6 +76,18 @@ void Exchange::run() {
         if (strata_seen.insert(record.stratum).second) ++channel_strata[w];
         if (!out[w]) out[w] = pool_.acquire();
         out[w]->records.push_back(record);
+        // Stratum run descriptors for the bulk sampling kernel: the routing
+        // decision already read record.stratum, so extending (or opening) the
+        // batch's trailing run costs one compare here and saves a key_ call
+        // plus map probe per record downstream.
+        auto& runs = out[w]->stratum_runs;
+        if (runs.empty() || runs.back().stratum != record.stratum) {
+          runs.push_back(
+              {static_cast<std::uint32_t>(out[w]->records.size() - 1), 1,
+               record.stratum});
+        } else {
+          ++runs.back().length;
+        }
         round_clock[p] = std::max(round_clock[p], record.event_time_us);
         if (record.event_time_us >
             max_routed_event_us_.load(std::memory_order_relaxed)) {

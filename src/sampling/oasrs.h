@@ -9,6 +9,7 @@
 #include <functional>
 #include <unordered_map>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/rng.h"
@@ -30,6 +31,19 @@ struct OasrsConfig {
   AllocationPolicy policy = AllocationPolicy::kEqual;
   /// RNG seed; each stratum forks its own generator deterministically.
   std::uint64_t seed = 0x0a5125ULL;
+  /// Use the skip-ahead sampling kernel (FastReservoirSampler, Algorithm L)
+  /// per stratum: distribution-identical to Algorithm R but O(accepted)
+  /// instead of O(arrived) on saturated reservoirs. Off restores the
+  /// bit-exact per-record Algorithm R path.
+  bool skip_ahead = true;
+};
+
+/// Counters from the skip-ahead bulk kernel, accumulated across offer_run
+/// calls (and carried along by merge). `skipped` records were never read.
+struct OasrsKernelStats {
+  std::uint64_t bulk_runs = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t skipped = 0;
 };
 
 /// OASRS sampler over items of type T.
@@ -49,23 +63,38 @@ class OasrsSampler {
 
   /// Offers one arriving item (paper Algorithm 3 inner loop): updates the
   /// stratum counter C_i and the stratum reservoir.
-  void offer(const T& item) { reservoir_for(key_(item)).offer(item); }
+  void offer(const T& item) {
+    ++interval_seen_;
+    std::visit([&](auto& r) { r.offer(item); }, reservoir_for(key_(item)));
+  }
 
-  /// Offers a contiguous run of items, caching the reservoir lookup across
-  /// consecutive same-stratum items — the batched data plane's hot path
-  /// (partition batches arrive grouped by sub-stream, so runs are long).
-  /// Pointers into the reservoir map are stable across rehashes, so the
-  /// cache survives mid-batch stratum discovery.
+  /// Offers a contiguous same-stratum run of items whose stratum the caller
+  /// already knows (the exchange stamps run descriptors at routing time) —
+  /// the production hot path. With skip-ahead enabled, a saturated reservoir
+  /// reads only its accepted positions inside the run; the skipped records
+  /// are never touched. Returns the number of items written to the sample.
+  std::size_t offer_run(const StratumId id, const T* items, std::size_t n) {
+    if (n == 0) return 0;
+    interval_seen_ += n;
+    const std::size_t accepted = std::visit(
+        [&](auto& r) { return r.offer_run(items, n); }, reservoir_for(id));
+    ++stats_.bulk_runs;
+    stats_.accepted += accepted;
+    stats_.skipped += n - accepted;
+    return accepted;
+  }
+
+  /// Offers a contiguous run of mixed-stratum items, segmenting it into
+  /// same-stratum runs (one key_ call per item, like the old cached-lookup
+  /// path) and feeding each to offer_run.
   void offer_batch(const T* items, std::size_t count) {
-    ReservoirSampler<T>* cached = nullptr;
-    StratumId cached_id{};
-    for (std::size_t i = 0; i < count; ++i) {
+    std::size_t i = 0;
+    while (i < count) {
       const StratumId id = key_(items[i]);
-      if (cached == nullptr || id != cached_id) {
-        cached = &reservoir_for(id);
-        cached_id = id;
-      }
-      cached->offer(items[i]);
+      std::size_t end = i + 1;
+      while (end < count && key_(items[end]) == id) ++end;
+      offer_run(id, items + i, end - i);
+      i = end;
     }
   }
 
@@ -87,14 +116,17 @@ class OasrsSampler {
     std::vector<std::uint64_t> counts;
     counts.reserve(order_.size());
     for (const StratumId id : order_) {
-      auto& reservoir = reservoirs_.at(id);
-      counts.push_back(reservoir.seen());
-      StratumSample<T> s;
-      s.stratum = id;
-      s.seen = reservoir.seen();
-      s.weight = reservoir.weight();
-      s.items = reservoir.take_items();
-      if (s.seen > 0) result.strata.push_back(std::move(s));
+      std::visit(
+          [&](auto& reservoir) {
+            counts.push_back(reservoir.seen());
+            StratumSample<T> s;
+            s.stratum = id;
+            s.seen = reservoir.seen();
+            s.weight = reservoir.weight();
+            s.items = reservoir.take_items();
+            if (s.seen > 0) result.strata.push_back(std::move(s));
+          },
+          reservoirs_.at(id));
     }
     const auto capacities =
         config_.total_budget > 0
@@ -104,9 +136,11 @@ class OasrsSampler {
                                        config_.per_stratum_capacity);
     max_capacity_ = 0;
     for (std::size_t i = 0; i < order_.size(); ++i) {
-      reservoirs_.at(order_[i]).reset(capacities[i]);
+      std::visit([&](auto& r) { r.reset(capacities[i]); },
+                 reservoirs_.at(order_[i]));
       max_capacity_ = std::max(max_capacity_, capacities[i]);
     }
+    interval_seen_ = 0;
     return result;
   }
 
@@ -115,14 +149,17 @@ class OasrsSampler {
     StratifiedSample<T> result;
     result.strata.reserve(order_.size());
     for (const StratumId id : order_) {
-      const auto& reservoir = reservoirs_.at(id);
-      if (reservoir.seen() == 0) continue;
-      StratumSample<T> s;
-      s.stratum = id;
-      s.seen = reservoir.seen();
-      s.weight = reservoir.weight();
-      s.items = reservoir.items();
-      result.strata.push_back(std::move(s));
+      std::visit(
+          [&](const auto& reservoir) {
+            if (reservoir.seen() == 0) return;
+            StratumSample<T> s;
+            s.stratum = id;
+            s.seen = reservoir.seen();
+            s.weight = reservoir.weight();
+            s.items = reservoir.items();
+            result.strata.push_back(std::move(s));
+          },
+          reservoirs_.at(id));
     }
     return result;
   }
@@ -137,11 +174,15 @@ class OasrsSampler {
     if (budget == 0) return;
     const std::size_t capacity = capacity_for(order_.size());
     for (auto& [id, reservoir] : reservoirs_) {
-      if (reservoir.seen() == 0) {
-        reservoir.reset(capacity);
-      } else {
-        reservoir.shrink_capacity(capacity);
-      }
+      std::visit(
+          [&](auto& r) {
+            if (r.seen() == 0) {
+              r.reset(capacity);
+            } else {
+              r.shrink_capacity(capacity);
+            }
+          },
+          reservoir);
     }
     if (!reservoirs_.empty()) max_capacity_ = capacity;
   }
@@ -158,37 +199,64 @@ class OasrsSampler {
   /// Number of strata discovered so far.
   std::size_t stratum_count() const noexcept { return reservoirs_.size(); }
 
-  /// Total items offered in the current interval.
-  std::uint64_t interval_seen() const noexcept {
-    std::uint64_t total = 0;
-    for (const auto& [id, reservoir] : reservoirs_) total += reservoir.seen();
-    return total;
-  }
+  /// Total items offered in the current interval — a running counter, not a
+  /// map walk; merge and take keep it in sync with the per-stratum C_i sums.
+  std::uint64_t interval_seen() const noexcept { return interval_seen_; }
+
+  /// Bulk-kernel counters accumulated so far (survive take(); a window's
+  /// worth is read by the merger at slide close).
+  const OasrsKernelStats& kernel_stats() const noexcept { return stats_; }
 
   /// Merges the per-stratum reservoirs of `other` into this sampler —
   /// the distributed execution path (§3.2): each of w workers runs a local
   /// OASRS over its share of the stream; merging concatenates the statistics
-  /// without any synchronisation during sampling itself.
+  /// without any synchronisation during sampling itself. Consumes the other
+  /// sampler's items (it is owned by the caller on the slide-close path).
   void merge(OasrsSampler& other) {
+    interval_seen_ += other.interval_seen_;
+    stats_.bulk_runs += other.stats_.bulk_runs;
+    stats_.accepted += other.stats_.accepted;
+    stats_.skipped += other.stats_.skipped;
     for (StratumId id : other.order_) {
       auto& theirs = other.reservoirs_.at(id);
       auto it = reservoirs_.find(id);
       if (it == reservoirs_.end()) {
         const std::size_t capacity = stratum_capacity();
-        it = reservoirs_
-                 .emplace(id,
-                          ReservoirSampler<T>(capacity, rng_.fork().next()))
-                 .first;
+        it = reservoirs_.emplace(id, make_reservoir(capacity)).first;
         order_.push_back(id);
         max_capacity_ = std::max(max_capacity_, capacity);
       }
-      it->second.merge(theirs);
+      // Cross-implementation merge: move the other side's items out and run
+      // this side's binomial slot allocation, whichever variant each holds.
+      std::visit(
+          [&](auto& mine) {
+            std::visit(
+                [&](auto& t) { mine.merge_from(t.take_items(), t.seen()); },
+                theirs);
+          },
+          it->second);
     }
   }
 
  private:
+  /// Either reservoir implementation; which one is decided per config at
+  /// stratum discovery (all strata of one sampler use the same kind).
+  using Reservoir = std::variant<ReservoirSampler<T>, FastReservoirSampler<T>>;
+
+  /// Builds a reservoir of the configured kind. Forks the stratum seed the
+  /// same way in both modes so the Algorithm R path draws a bit-identical
+  /// seed sequence whether or not other samplers in the process skip ahead.
+  Reservoir make_reservoir(std::size_t capacity) {
+    const std::uint64_t seed = rng_.fork().next();
+    if (config_.skip_ahead) {
+      return Reservoir{std::in_place_type<FastReservoirSampler<T>>, capacity,
+                       seed};
+    }
+    return Reservoir{std::in_place_type<ReservoirSampler<T>>, capacity, seed};
+  }
+
   /// Looks up (or discovers) the reservoir of stratum `id`.
-  ReservoirSampler<T>& reservoir_for(const StratumId id) {
+  Reservoir& reservoir_for(const StratumId id) {
     auto it = reservoirs_.find(id);
     if (it == reservoirs_.end()) {
       // New stratum discovered mid-interval: the shared budget is re-split
@@ -203,7 +271,7 @@ class OasrsSampler {
       const std::size_t capacity = capacity_for(order_.size());
       if (config_.total_budget > 0 && capacity < max_capacity_) {
         for (auto& [existing_id, reservoir] : reservoirs_) {
-          reservoir.shrink_capacity(capacity);
+          std::visit([&](auto& r) { r.shrink_capacity(capacity); }, reservoir);
         }
       }
       // Whether the pass ran (everything shrunk to `capacity`) or was
@@ -211,9 +279,7 @@ class OasrsSampler {
       // high water. Assigning — not max-combining — is what lets it tighten
       // as shares shrink; a monotone high water would stop the skip firing.
       max_capacity_ = capacity;
-      it = reservoirs_
-               .emplace(id, ReservoirSampler<T>(capacity, rng_.fork().next()))
-               .first;
+      it = reservoirs_.emplace(id, make_reservoir(capacity)).first;
     }
     return it->second;
   }
@@ -231,11 +297,15 @@ class OasrsSampler {
   OasrsConfig config_;
   KeyFn key_;
   streamapprox::Rng rng_;
-  std::unordered_map<StratumId, ReservoirSampler<T>> reservoirs_;
+  std::unordered_map<StratumId, Reservoir> reservoirs_;
   std::vector<StratumId> order_;
   /// High-water reservoir capacity: when a new stratum's share is not below
   /// it, no reservoir can need shrinking and the re-split pass is skipped.
   std::size_t max_capacity_ = 0;
+  /// Running interval counter (sum of every stratum's C_i since the last
+  /// take()), so interval_seen() is O(1) instead of an O(strata) map walk.
+  std::uint64_t interval_seen_ = 0;
+  OasrsKernelStats stats_;
 };
 
 /// Deduces a convenient OASRS type for items that expose `.stratum`.
