@@ -65,6 +65,15 @@ bench::Json run_json(const std::string& mode, std::size_t workers,
   entry.set("injector_pops", run.stats.injector_pops);
   entry.set("batches_absorbed", run.stats.batches_absorbed);
   entry.set("records_absorbed", run.stats.records_absorbed);
+  // Exchange routing-kernel accounting (0 in group mode; the bulk-only
+  // fields also 0 when routed record-at-a-time).
+  auto exchange_kernel = bench::Json::object();
+  exchange_kernel.set("rounds", run.stats.exchange_rounds);
+  exchange_kernel.set("records_routed", run.stats.exchange_records_routed);
+  exchange_kernel.set("runs_walked", run.stats.exchange_runs_walked);
+  exchange_kernel.set("table_probes", run.stats.exchange_table_probes);
+  exchange_kernel.set("scatter_reserves", run.stats.exchange_scatter_reserves);
+  entry.set("exchange_kernel", exchange_kernel);
   auto per_worker = bench::Json::array();
   for (const std::uint64_t records : run.stats.per_worker_records) {
     per_worker.push(run.wall_seconds > 0.0
@@ -88,7 +97,8 @@ bench::Json run_json(const std::string& mode, std::size_t workers,
 
 Run run_with_workers(const std::vector<engine::Record>& records,
                      std::size_t workers, std::size_t partitions,
-                     bool use_exchange, std::size_t query_count = 1) {
+                     bool use_exchange, std::size_t query_count = 1,
+                     bool bulk_routing = true) {
   ingest::Broker broker;
   broker.create_topic("scaling", partitions);
   // Pre-load the topic so the measurement covers the processing pipeline,
@@ -105,6 +115,7 @@ Run run_with_workers(const std::vector<engine::Record>& records,
   config.window = {2'000'000, 1'000'000};
   config.workers = workers;
   config.use_exchange = use_exchange;
+  config.bulk_exchange_routing = bulk_routing;
   config.ingest_cost = {ingest_rounds()};
   config.seed = 1234;
   // One or more registered queries over the SAME sampled stream: the
@@ -230,6 +241,34 @@ int main() {
     runs_json.push(run_json("exchange-2p", workers, exchanged));
   }
   decoupled.print();
+
+  // End-to-end effect of the exchange's two-pass bulk routing kernel: the
+  // same pipeline with routing forced back to the record-at-a-time loop.
+  // The isolated kernel gap is micro_exchange's job; here it is diluted by
+  // sampling, windowing and the ingest cost model, so the interesting
+  // number is how much of it survives at the pipeline level.
+  Table routing("Exchange routing kernel, end to end (8 partitions)",
+                {"Workers", "Routing", "Throughput", "Bulk speedup"});
+  for (const std::size_t workers : {1u, 4u}) {
+    const auto bulk = run_with_workers(records, workers, 8,
+                                       /*use_exchange=*/true);
+    const auto scalar = run_with_workers(records, workers, 8,
+                                         /*use_exchange=*/true,
+                                         /*query_count=*/1,
+                                         /*bulk_routing=*/false);
+    routing.add_row({std::to_string(workers), "per-record",
+                     bench::format_throughput(scalar.throughput), "1.00x"});
+    routing.add_row(
+        {std::to_string(workers), "bulk",
+         bench::format_throughput(bulk.throughput),
+         Table::num(scalar.throughput > 0.0
+                        ? bulk.throughput / scalar.throughput
+                        : 0.0) +
+             "x"});
+    runs_json.push(run_json("exchange-bulk-route", workers, bulk));
+    runs_json.push(run_json("exchange-scalar-route", workers, scalar));
+  }
+  routing.print();
 
   // The economics of the query registry: registering more queries reuses
   // the ONE ingested/exchanged/sampled/windowed stream, so N queries cost

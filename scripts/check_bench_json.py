@@ -20,7 +20,37 @@ def fail(path, message):
     return False
 
 
-def check_run(path, index, run):
+def check_micro_exchange_run(path, index, run):
+    """Routing-kernel ablation runs carry the ablation axes explicitly:
+    which kernel ran, the run-length regime of the stream, the stratum
+    count, and the headline records/s."""
+    ok = True
+    for key in ("kernel", "regime", "strata", "records_per_sec"):
+        if key not in run:
+            ok = fail(path, f"runs[{index}] missing key '{key}'")
+    if not ok:
+        return False
+    if run["kernel"] not in ("bulk", "per_record"):
+        ok = fail(path, f"runs[{index}].kernel = {run['kernel']!r} is not "
+                        "'bulk' or 'per_record'")
+    if not isinstance(run["regime"], str) or not run["regime"]:
+        ok = fail(path, f"runs[{index}].regime is not a non-empty string")
+    if not isinstance(run["strata"], int) or run["strata"] < 1:
+        ok = fail(path, f"runs[{index}].strata is not a positive integer")
+    rps = run["records_per_sec"]
+    if not isinstance(rps, (int, float)) or rps <= 0:
+        ok = fail(path, f"runs[{index}].records_per_sec = {rps!r} is not > 0")
+    return ok
+
+
+# Benchmark-specific run validators, keyed by the 'benchmark' field. Every
+# run still passes the universal envelope checks in check_run first.
+RUN_CHECKS = {
+    "micro_exchange": check_micro_exchange_run,
+}
+
+
+def check_run(path, index, run, benchmark=None):
     ok = True
     if not isinstance(run, dict):
         return fail(path, f"runs[{index}] is not an object")
@@ -48,6 +78,9 @@ def check_run(path, index, run):
     lag = run.get("watermark_lag")
     if lag is not None and not isinstance(lag, dict):
         ok = fail(path, f"runs[{index}].watermark_lag is not an object")
+    extra = RUN_CHECKS.get(benchmark)
+    if extra is not None:
+        ok = extra(path, index, run) and ok
     return ok
 
 
@@ -71,7 +104,7 @@ def check_file(path):
     if not isinstance(runs, list) or not runs:
         return fail(path, "'runs' missing, not an array, or empty")
     for index, run in enumerate(runs):
-        ok = check_run(path, index, run) and ok
+        ok = check_run(path, index, run, data.get("benchmark")) and ok
     if ok:
         print(f"OK   {path}: {len(runs)} runs")
     return ok

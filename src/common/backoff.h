@@ -1,0 +1,79 @@
+// Bounded exponential idle backoff for polling loops: spin (cheapest, keeps
+// the core's pipeline warm for an imminent wakeup), then yield (let a ready
+// thread run), then sleep with a doubling, capped duration. A loop that
+// pauses this way resumes in nanoseconds when work reappears immediately
+// after a lull, yet converges to a bounded sleep — instead of either
+// busy-burning a core or always paying a fixed worst-case doze (the
+// exchange's old flat 200 µs sleep made every briefly-starved round as
+// expensive as a deep idle one).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace streamapprox {
+
+/// Escalating pause for idle polling loops. Not thread-safe: one instance
+/// per polling thread. Call pause() on every empty round, reset() whenever
+/// the round found work.
+class IdleBackoff {
+ public:
+  struct Config {
+    /// Empty rounds spent spinning (cpu-relax hint) before yielding.
+    std::uint32_t spins = 64;
+    /// Empty rounds spent yielding before sleeping.
+    std::uint32_t yields = 8;
+    /// First sleep duration; doubles on each further sleeping pause.
+    std::uint32_t min_sleep_us = 4;
+    /// Sleep ceiling — the deepest-idle cost per pause.
+    std::uint32_t max_sleep_us = 256;
+  };
+
+  IdleBackoff() : IdleBackoff(Config{}) {}
+  explicit IdleBackoff(Config config) : config_(config) { reset(); }
+
+  /// Back to the spinning stage; the next sleep restarts at the floor.
+  void reset() noexcept {
+    round_ = 0;
+    sleep_us_ = std::max<std::uint32_t>(1, config_.min_sleep_us);
+  }
+
+  /// One escalation step: spin, then yield, then sleep (doubling, capped).
+  void pause() {
+    if (round_ < config_.spins) {
+      ++round_;
+      cpu_relax();
+      return;
+    }
+    if (round_ < config_.spins + config_.yields) {
+      ++round_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    sleep_us_ = std::min(config_.max_sleep_us, sleep_us_ * 2);
+  }
+
+  /// Duration the next sleeping pause() would take; 0 while the backoff is
+  /// still in its spin/yield stages. Introspection for tests and tuning.
+  std::uint32_t next_sleep_us() const noexcept {
+    return round_ < config_.spins + config_.yields ? 0 : sleep_us_;
+  }
+
+ private:
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#endif
+  }
+
+  Config config_;
+  std::uint32_t round_ = 0;
+  std::uint32_t sleep_us_ = 0;
+};
+
+}  // namespace streamapprox

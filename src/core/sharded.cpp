@@ -419,6 +419,7 @@ void StreamApprox::run_sharded(
           config_.idle_partition_timeout_ms;
       exchange_config.exchange_index = e;
       exchange_config.exchange_count = exchange_count;
+      exchange_config.bulk_routing = config_.bulk_exchange_routing;
       exchanges.push_back(std::make_unique<ingest::Exchange>(
           broker_, config_.topic, exchange_config));
     }
@@ -676,6 +677,16 @@ void StreamApprox::run_sharded(
     run_stats_.batches_absorbed = counters.batches.load();
     run_stats_.heartbeats_absorbed = counters.heartbeats.load();
     run_stats_.records_absorbed = counters.records.load();
+    // Routing-loop accounting: plain counters per exchange thread, summed
+    // here after the join made them final.
+    for (const auto& exchange : exchanges) {
+      const auto& stats = exchange->stats();
+      run_stats_.exchange_rounds += stats.rounds;
+      run_stats_.exchange_records_routed += stats.records;
+      run_stats_.exchange_runs_walked += stats.runs;
+      run_stats_.exchange_table_probes += stats.table_probes;
+      run_stats_.exchange_scatter_reserves += stats.scatter_reserves;
+    }
   } else {
     // ---- Group mode: the consumer group owns the partition split; each
     // worker thread drives exactly one member (no offset state is shared

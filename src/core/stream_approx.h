@@ -118,6 +118,11 @@ struct StreamApproxConfig {
   /// distribution, C_i / W_i counters, watermarks and budget accounting.
   /// false restores the bit-exact per-record Algorithm R path.
   bool skip_ahead_sampling = true;
+  /// Route in the exchanges with the two-pass bulk kernel (pass 1: per-run
+  /// route + histogram + stratum-table occupancy; pass 2: one reserve per
+  /// destination then channel-by-channel scatter). Output-identical to the
+  /// record-at-a-time loop; false restores it (the micro_exchange baseline).
+  bool bulk_exchange_routing = true;
   /// Grace period after which a partition that has NEVER delivered a record
   /// stops gating the watermark (Kafka's idleness rule), so a topic with
   /// more partitions than sub-streams still emits windows on a live,
@@ -162,6 +167,17 @@ struct ShardedRunStats {
   std::uint64_t sampler_bulk_runs = 0;
   std::uint64_t sampler_accepts = 0;
   std::uint64_t sampler_skipped = 0;
+  /// Exchange routing totals (exchange mode, summed over shards): polling
+  /// rounds that routed data and records routed, plus the bulk kernel's
+  /// cost accounting — same-stratum runs walked by pass 1, StratumTable
+  /// slot probes, and pass-2 destination reserves. The kernel fields stay 0
+  /// when bulk_exchange_routing is false (or in group mode, which has no
+  /// exchange).
+  std::uint64_t exchange_rounds = 0;
+  std::uint64_t exchange_records_routed = 0;
+  std::uint64_t exchange_runs_walked = 0;
+  std::uint64_t exchange_table_probes = 0;
+  std::uint64_t exchange_scatter_reserves = 0;
   /// Records absorbed per worker index (steals shift mass between entries).
   std::vector<std::uint64_t> per_worker_records;
   /// Watermark lag sampled at each slide close: max event time routed by

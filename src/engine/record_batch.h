@@ -89,6 +89,31 @@ struct RecordBatch {
   std::size_t size() const noexcept { return records.size(); }
   bool empty() const noexcept { return records.empty(); }
 
+  /// Appends a same-stratum run of `count` records and maintains the
+  /// `stratum_runs` descriptor list: extends the trailing descriptor when it
+  /// carries the same stratum (runs merge across producer-side batch
+  /// boundaries, exactly like the record-at-a-time trailing-run update),
+  /// opens a new one otherwise. The scatter pass of the exchange's bulk
+  /// routing kernel is one call per routed run instead of one compare per
+  /// record.
+  void append_run(const Record* run, std::size_t count,
+                  sampling::StratumId stratum) {
+    const auto offset = static_cast<std::uint32_t>(records.size());
+    if (count == 1) {
+      // Length-1 runs are the common case on shuffled streams; push_back
+      // skips the range-insert machinery for them.
+      records.push_back(*run);
+    } else {
+      records.insert(records.end(), run, run + count);
+    }
+    if (!stratum_runs.empty() && stratum_runs.back().stratum == stratum) {
+      stratum_runs.back().length += static_cast<std::uint32_t>(count);
+    } else {
+      stratum_runs.push_back(
+          {offset, static_cast<std::uint32_t>(count), stratum});
+    }
+  }
+
   /// Clears data and metadata, keeping the records' capacity — the whole
   /// point of pooling.
   void reset() noexcept {

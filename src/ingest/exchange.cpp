@@ -1,12 +1,12 @@
 #include "ingest/exchange.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 #include <unordered_set>
 
+#include "common/backoff.h"
 #include "common/clock.h"
 #include "core/watermark.h"
+#include "ingest/stratum_table.h"
 
 namespace streamapprox::ingest {
 
@@ -44,6 +44,7 @@ void Exchange::push_channel(std::size_t w, BatchPtr batch) {
 void Exchange::run() {
   const std::size_t partitions = inputs_.size();
   const std::size_t workers = config_.workers;
+  const bool bulk = config_.bulk_routing;
 
   // Per-partition high-water clocks (exchange-thread local: the exchange is
   // the only gate keeper; receivers see only resolved watermarks).
@@ -52,8 +53,11 @@ void Exchange::run() {
   std::vector<BatchPtr> out(workers);
   // Stratum-occupancy bookkeeping for the budget split: this thread sees
   // every record in deterministic order, so the counts stamped onto batches
-  // are reproducible regardless of downstream thread timing.
+  // are reproducible regardless of downstream thread timing. The bulk path
+  // keeps occupancy in the flat StratumTable (one probe chain per run
+  // boundary); the legacy path keeps the original per-record unordered_set.
   std::unordered_set<sampling::StratumId> strata_seen;
+  StratumTable strata_table;
   std::vector<std::uint32_t> channel_strata(workers, 0);
   // The last watermark each channel was told, so heartbeats only go to
   // channels that would otherwise fall behind.
@@ -61,7 +65,132 @@ void Exchange::run() {
   // One pooled batch reused as the input fill target: each poll is a single
   // lock acquisition into recycled storage.
   BatchPtr scratch = pool_.acquire();
+  // Grace window for partitions that have never delivered: restarted on
+  // every round that routes data, so a partition that goes quiet mid-stream
+  // earns a fresh idle_partition_timeout_ms from its LAST data round, not
+  // from exchange start-up (a once-started stopwatch would mark every
+  // momentary lull grace-expired after the first timeout).
   Stopwatch grace;
+  IdleBackoff backoff;
+
+  // Bulk-kernel scratch, reused across rounds so the steady state allocates
+  // nothing. A RouteRun is pass 1's product: a same-stratum run of the
+  // polled batch plus the channel it routes to.
+  struct RouteRun {
+    std::uint32_t offset;
+    std::uint32_t length;
+    sampling::StratumId stratum;
+    std::uint32_t channel;
+  };
+  std::vector<RouteRun> route_runs;
+  std::vector<std::uint32_t> scatter_counts(workers, 0);
+
+  // Two-pass routing kernel, called once per non-empty polled batch.
+  //
+  // Pass 1 (route / histogram) walks the batch run-at-a-time — strata
+  // arrive in runs, and when they do not the inner while simply stops after
+  // one record — computing the Fibonacci route once per run, probing the
+  // stratum table once per run boundary, and accumulating the per-channel
+  // record histogram. The partition clock is a separate tight max-reduction
+  // over event times (no hash, no branch on route).
+  //
+  // Pass 2 (reserve / scatter) sizes each destination batch once from the
+  // histogram, then copies records run-by-run with append_run — which also
+  // maintains the StratumRun descriptors, merging with the destination's
+  // trailing run exactly like the record-at-a-time compare. When the WHOLE
+  // polled batch routes to one still-empty destination (the steady state on
+  // sorted / strongly run-structured streams), the scatter collapses to a
+  // vector swap: the records move wholesale, zero per-record work.
+  //
+  // Output-identical to the legacy loop: channels are filled in the same
+  // per-round partition order, records keep their input order (pass 2
+  // iterates runs in offset order per channel), and occupancy increments
+  // happen at each stratum's first occurrence in record order, so the
+  // stamps every receiver uses for the budget split are byte-identical.
+  const auto route_bulk = [&](engine::RecordBatch& src,
+                              std::int64_t& partition_clock) {
+    const engine::Record* recs = src.records.data();
+    const std::size_t n = src.records.size();
+    route_runs.clear();
+    std::fill(scatter_counts.begin(), scatter_counts.end(), 0);
+    std::size_t i = 0;
+    while (i < n) {
+      const sampling::StratumId stratum = recs[i].stratum;
+      std::size_t end = i + 1;
+      while (end < n && recs[end].stratum == stratum) ++end;
+      const auto w = static_cast<std::uint32_t>(route(stratum, workers));
+      if (strata_table.insert(stratum)) ++channel_strata[w];
+      route_runs.push_back({static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(end - i), stratum, w});
+      scatter_counts[w] += static_cast<std::uint32_t>(end - i);
+      i = end;
+    }
+    stats_.runs += route_runs.size();
+    std::int64_t clock = partition_clock;
+    for (std::size_t j = 0; j < n; ++j) {
+      clock = std::max(clock, recs[j].event_time_us);
+    }
+    partition_clock = clock;
+    // Morsel pass-through: every run routed to one channel whose batch is
+    // still empty this round -> move the vector, emit the descriptors
+    // as-is (offsets are unchanged; consecutive runs differ by
+    // construction, so no trailing merge can apply on an empty batch).
+    if (!route_runs.empty() &&
+        scatter_counts[route_runs.front().channel] == n) {
+      const std::uint32_t w = route_runs.front().channel;
+      if (!out[w]) out[w] = pool_.acquire();
+      if (out[w]->records.empty()) {
+        out[w]->records.swap(src.records);
+        for (const RouteRun& rr : route_runs) {
+          out[w]->stratum_runs.push_back({rr.offset, rr.length, rr.stratum});
+        }
+        return;
+      }
+    }
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (scatter_counts[w] == 0) continue;
+      if (!out[w]) out[w] = pool_.acquire();
+      out[w]->records.reserve(out[w]->records.size() + scatter_counts[w]);
+      ++stats_.scatter_reserves;
+    }
+    // One ordered pass over the run array: each channel's batch end IS its
+    // write cursor (runs arrive in offset order and every channel was sized
+    // above), so the scatter is O(runs) dispatch + O(routed) copying.
+    for (const RouteRun& rr : route_runs) {
+      out[rr.channel]->append_run(recs + rr.offset, rr.length, rr.stratum);
+    }
+  };
+
+  // The original record-at-a-time loop, kept verbatim behind
+  // bulk_routing=false: the equivalence oracle for the tests and the
+  // baseline of bench/micro_exchange.
+  const auto route_per_record = [&](const engine::RecordBatch& src,
+                                    std::int64_t& partition_clock) {
+    for (const auto& record : src.records) {
+      const std::size_t w = route(record.stratum, workers);
+      if (strata_seen.insert(record.stratum).second) ++channel_strata[w];
+      if (!out[w]) out[w] = pool_.acquire();
+      out[w]->records.push_back(record);
+      // Stratum run descriptors for the bulk sampling kernel: the routing
+      // decision already read record.stratum, so extending (or opening) the
+      // batch's trailing run costs one compare here and saves a key_ call
+      // plus map probe per record downstream.
+      auto& runs = out[w]->stratum_runs;
+      if (runs.empty() || runs.back().stratum != record.stratum) {
+        runs.push_back(
+            {static_cast<std::uint32_t>(out[w]->records.size() - 1), 1,
+             record.stratum});
+      } else {
+        ++runs.back().length;
+      }
+      partition_clock = std::max(partition_clock, record.event_time_us);
+      if (record.event_time_us >
+          max_routed_event_us_.load(std::memory_order_relaxed)) {
+        max_routed_event_us_.store(record.event_time_us,
+                                   std::memory_order_relaxed);
+      }
+    }
+  };
 
   for (;;) {
     bool any_data = false;
@@ -71,28 +200,30 @@ void Exchange::run() {
       inputs_[p].poll(*scratch, config_.batch_size, /*timeout_ms=*/0);
       if (scratch->empty()) continue;
       any_data = true;
-      for (const auto& record : scratch->records) {
-        const std::size_t w = route(record.stratum, workers);
-        if (strata_seen.insert(record.stratum).second) ++channel_strata[w];
-        if (!out[w]) out[w] = pool_.acquire();
-        out[w]->records.push_back(record);
-        // Stratum run descriptors for the bulk sampling kernel: the routing
-        // decision already read record.stratum, so extending (or opening) the
-        // batch's trailing run costs one compare here and saves a key_ call
-        // plus map probe per record downstream.
-        auto& runs = out[w]->stratum_runs;
-        if (runs.empty() || runs.back().stratum != record.stratum) {
-          runs.push_back(
-              {static_cast<std::uint32_t>(out[w]->records.size() - 1), 1,
-               record.stratum});
-        } else {
-          ++runs.back().length;
+      stats_.records += scratch->records.size();
+      if (bulk) {
+        route_bulk(*scratch, round_clock[p]);
+      } else {
+        route_per_record(*scratch, round_clock[p]);
+      }
+    }
+
+    if (any_data) {
+      ++stats_.rounds;
+      grace.restart();
+      backoff.reset();
+      if (bulk) {
+        // One relaxed store per data round (the legacy loop pays up to two
+        // atomic ops per record): fold the round's clock maxes, publish if
+        // they advanced the high-water mark. Monotonicity is preserved —
+        // this thread is the only writer.
+        std::int64_t round_max = engine::kNoWatermark;
+        for (std::size_t p = 0; p < partitions; ++p) {
+          round_max = std::max(round_max, round_clock[p]);
         }
-        round_clock[p] = std::max(round_clock[p], record.event_time_us);
-        if (record.event_time_us >
+        if (round_max >
             max_routed_event_us_.load(std::memory_order_relaxed)) {
-          max_routed_event_us_.store(record.event_time_us,
-                                     std::memory_order_relaxed);
+          max_routed_event_us_.store(round_max, std::memory_order_relaxed);
         }
       }
     }
@@ -122,8 +253,8 @@ void Exchange::run() {
     // sentinels, so the policy-complete value is forwarded unchanged.
     const std::int64_t resolved = core::resolve_watermark(view);
 
-    const auto total_strata =
-        static_cast<std::uint32_t>(strata_seen.size());
+    const auto total_strata = static_cast<std::uint32_t>(
+        bulk ? strata_table.size() : strata_seen.size());
     for (std::size_t w = 0; w < workers; ++w) {
       if (out[w] && !out[w]->empty()) {
         out[w]->watermark_us = resolved;
@@ -154,12 +285,14 @@ void Exchange::run() {
 
     if (all_drained) break;
     if (!any_data) {
-      // Nothing anywhere this round: doze briefly instead of spinning over
-      // the partition mutexes.
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      // Nothing anywhere this round: escalate spin -> yield -> capped sleep
+      // instead of always paying a fixed doze, so a briefly-starved exchange
+      // resumes in microseconds while a deeply idle one still parks.
+      backoff.pause();
     }
   }
 
+  stats_.table_probes = strata_table.probes();
   pool_.release(std::move(scratch));
   for (auto& ring : rings_) ring->close();
 }

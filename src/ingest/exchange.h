@@ -65,6 +65,30 @@ struct ExchangeConfig {
   /// that composes). Defaults describe the classic single-exchange layout.
   std::size_t exchange_index = 0;
   std::size_t exchange_count = 1;
+  /// Route with the two-pass bulk kernel (O(runs) bookkeeping + one reserve
+  /// per destination per round) instead of the record-at-a-time loop. The
+  /// two paths are output-identical — this flag exists as an escape hatch
+  /// and as the ablation axis of bench/micro_exchange.
+  bool bulk_routing = true;
+};
+
+/// Routing-loop accounting, written by the exchange thread while run() is
+/// live and safe to read after it returns. `runs` / `table_probes` /
+/// `scatter_reserves` are the bulk kernel's O(runs + routed) cost made
+/// observable; they stay 0 on the per-record path (which has no such
+/// aggregate steps to count).
+struct ExchangeStats {
+  /// Polling rounds that routed at least one record.
+  std::uint64_t rounds = 0;
+  /// Records routed (same total as records_routed(), counted at poll time).
+  std::uint64_t records = 0;
+  /// Same-stratum runs walked by the bulk kernel's pass 1.
+  std::uint64_t runs = 0;
+  /// StratumTable slot inspections (one probe chain per run boundary).
+  std::uint64_t table_probes = 0;
+  /// Destination-batch reserve calls made by pass 2 (one per channel that
+  /// received data from a polled batch).
+  std::uint64_t scatter_reserves = 0;
 };
 
 /// Repartitions a topic's partition batches onto worker channels by stratum
@@ -150,6 +174,10 @@ class Exchange {
   std::int64_t max_routed_event_us() const noexcept {
     return max_routed_event_us_.load(std::memory_order_relaxed);
   }
+  /// Routing-loop accounting. Plain (non-atomic) counters written by the
+  /// exchange thread: read only after run() returns (a thread join orders
+  /// the accesses).
+  const ExchangeStats& stats() const noexcept { return stats_; }
 
  private:
   /// Blocks until channel `w` accepts `batch` (condvar-backed backpressure:
@@ -177,6 +205,7 @@ class Exchange {
   std::atomic<std::uint64_t> heartbeats_emitted_{0};
   std::atomic<std::uint64_t> records_routed_{0};
   std::atomic<std::int64_t> max_routed_event_us_{engine::kNoWatermark};
+  ExchangeStats stats_;  ///< exchange thread only; read after run() joins
 };
 
 }  // namespace streamapprox::ingest

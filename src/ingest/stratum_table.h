@@ -1,0 +1,109 @@
+// Flat open-addressing set of stratum ids for the exchange's routing hot
+// loop. The per-record path paid one std::unordered_set probe per ARRIVING
+// record (pointer-chasing buckets, a hash, an allocation per new stratum);
+// the bulk routing kernel probes once per RUN BOUNDARY instead, and this
+// table makes that probe a couple of cache lines: power-of-two linear
+// probing over a contiguous slot array, the same Fibonacci mix the channel
+// route uses, no per-insert allocation (growth rehashes in one shot).
+//
+// Single-threaded by design — the exchange thread is the only routing
+// thread, which is exactly what makes the occupancy stamps deterministic.
+// The cumulative probe counter feeds ExchangeStats::table_probes, so the
+// O(runs) claim of the bulk kernel is observable, not asserted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sampling/sample.h"
+
+namespace streamapprox::ingest {
+
+/// Open-addressing hash set of StratumIds with linear probing and
+/// power-of-two capacity. Grows at 70 % load; never shrinks.
+class StratumTable {
+ public:
+  /// Creates a table with at least `min_slots` slots (rounded up to a power
+  /// of two, minimum 8).
+  explicit StratumTable(std::size_t min_slots = 64) {
+    std::size_t slots = 8;
+    while (slots < min_slots) slots <<= 1;
+    slots_.assign(slots, kEmpty);
+  }
+
+  /// Inserts `stratum`; returns true when it was not already present.
+  bool insert(sampling::StratumId stratum) {
+    // 70 % load ceiling keeps expected probe chains short (< 2 slots).
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    return insert_no_grow(stratum);
+  }
+
+  /// True when `stratum` has been inserted. Does not count probes (insert is
+  /// the hot path the stats are about).
+  bool contains(sampling::StratumId stratum) const noexcept {
+    const auto value = static_cast<std::uint64_t>(stratum);
+    std::size_t slot = preferred_slot(stratum, slots_.size());
+    for (;;) {
+      if (slots_[slot] == kEmpty) return false;
+      if (slots_[slot] == value) return true;
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+  }
+
+  /// Distinct strata inserted.
+  std::size_t size() const noexcept { return size_; }
+
+  /// Current slot-array capacity (power of two).
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+
+  /// Cumulative slot inspections across every insert, growth rehashes
+  /// included — the bulk kernel's per-run probe cost, observable.
+  std::uint64_t probes() const noexcept { return probes_; }
+
+  /// The slot `stratum` hashes to at `slot_count` capacity (the head of its
+  /// probe chain). Exposed so tests can construct colliding ids.
+  static std::size_t preferred_slot(sampling::StratumId stratum,
+                                    std::size_t slot_count) noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(stratum) + 1;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h & (slot_count - 1));
+  }
+
+ private:
+  /// Empty-slot sentinel: StratumId is 32-bit, so no valid id collides.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  bool insert_no_grow(sampling::StratumId stratum) {
+    const auto value = static_cast<std::uint64_t>(stratum);
+    std::size_t slot = preferred_slot(stratum, slots_.size());
+    for (;;) {
+      ++probes_;
+      if (slots_[slot] == kEmpty) {
+        slots_[slot] = value;
+        ++size_;
+        return true;
+      }
+      if (slots_[slot] == value) return false;
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    size_ = 0;
+    for (const std::uint64_t value : old) {
+      if (value != kEmpty) {
+        insert_no_grow(static_cast<sampling::StratumId>(value));
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace streamapprox::ingest

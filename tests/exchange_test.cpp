@@ -321,6 +321,86 @@ TEST(Exchange, HeartbeatsRecycleThroughZeroReservePool) {
             config.workers * config.ring_capacity);
 }
 
+TEST(Exchange, IdleGraceWindowRestartsOnDataRounds) {
+  // Regression: the grace stopwatch used to start once at run() entry and
+  // never restart, so once the first idle_partition_timeout_ms of wall time
+  // had passed, a never-delivered partition stopped gating the watermark
+  // forever — even while data kept flowing on the other partitions. The
+  // fix restarts grace on every round that routes data: as long as
+  // partition 0 keeps delivering with gaps far below the timeout, silent
+  // partition 1 must hold the watermark at kNoWatermark, however much wall
+  // time accumulates.
+  Broker broker;
+  broker.create_topic("t", 2);
+  Producer producer(broker, "t");
+
+  ExchangeConfig config;
+  config.workers = 1;
+  config.idle_partition_timeout_ms = 800;
+  Exchange exchange(broker, "t", config);
+  std::thread runner([&] { exchange.run(); });
+
+  struct Observed {
+    std::int64_t watermark_us;
+    bool has_stratum1;
+  };
+  std::vector<Observed> observed;
+  std::size_t delivered = 0;
+  std::thread drainer([&] {
+    while (!exchange.drained(0)) {
+      while (auto batch = exchange.pop(0)) {
+        bool has_stratum1 = false;
+        for (const auto& record : batch->records) {
+          if (record.stratum == 1) has_stratum1 = true;
+        }
+        delivered += batch->size();
+        observed.push_back({batch->watermark_us, has_stratum1});
+        exchange.recycle(std::move(batch));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  // Stratum s maps to partition s % 2: stratum 0 feeds partition 0 for
+  // 1.2 s of wall time (> timeout) in 200 ms steps (each gap well under
+  // the timeout), while partition 1 stays silent.
+  for (int i = 0; i < 6; ++i) {
+    engine::Record record;
+    record.stratum = 0;
+    record.value = static_cast<double>(i);
+    record.event_time_us = 1'000'000 * (i + 1);
+    producer.send(record);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  // Partition 1 wakes up, then the stream ends.
+  engine::Record late;
+  late.stratum = 1;
+  late.value = 42.0;
+  late.event_time_us = 500'000;
+  producer.send(late);
+  producer.finish();
+
+  runner.join();
+  drainer.join();
+
+  EXPECT_EQ(delivered, 7u);
+  // Until partition 1's record arrived, it had never delivered — so it must
+  // still be inside a (continually refreshed) grace window and the resolved
+  // watermark must be kNoWatermark. The buggy once-started stopwatch stamped
+  // a real watermark on every batch after the first 800 ms.
+  bool woke = false;
+  for (const auto& batch : observed) {
+    if (batch.has_stratum1) woke = true;
+    if (!woke) {
+      EXPECT_EQ(batch.watermark_us, engine::kNoWatermark)
+          << "silent partition was grace-expired while data kept flowing";
+    }
+  }
+  ASSERT_TRUE(woke);
+  ASSERT_FALSE(observed.empty());
+  EXPECT_EQ(observed.back().watermark_us, engine::kWatermarkFlush);
+}
+
 TEST(Exchange, RouteIsDeterministicAndInRange) {
   for (std::size_t workers : {1u, 3u, 8u}) {
     for (sampling::StratumId s = 0; s < 1000; ++s) {

@@ -1,0 +1,102 @@
+// StratumTable: the flat open-addressing stratum set behind the exchange's
+// bulk routing kernel — membership, growth/rehash, collision-chain probing,
+// and the probe accounting ExchangeStats::table_probes reports.
+#include "ingest/stratum_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace streamapprox::ingest {
+namespace {
+
+TEST(StratumTable, InsertReportsNoveltyAndContainsAgrees) {
+  StratumTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.contains(7));
+
+  EXPECT_TRUE(table.insert(7));
+  EXPECT_TRUE(table.insert(11));
+  EXPECT_TRUE(table.insert(0));
+  // Duplicates are reported as such and do not change the size.
+  EXPECT_FALSE(table.insert(7));
+  EXPECT_FALSE(table.insert(0));
+
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_TRUE(table.contains(7));
+  EXPECT_TRUE(table.contains(11));
+  EXPECT_TRUE(table.contains(0));
+  EXPECT_FALSE(table.contains(8));
+}
+
+TEST(StratumTable, SlotCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(StratumTable(1).slot_count(), 8u);
+  EXPECT_EQ(StratumTable(8).slot_count(), 8u);
+  EXPECT_EQ(StratumTable(9).slot_count(), 16u);
+  EXPECT_EQ(StratumTable(64).slot_count(), 64u);
+  EXPECT_EQ(StratumTable(65).slot_count(), 128u);
+}
+
+TEST(StratumTable, GrowthPreservesMembershipAndLoadBound) {
+  // Start tiny to force many rehashes; mirror against std::unordered_set.
+  StratumTable table(1);
+  std::unordered_set<sampling::StratumId> mirror;
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto stratum =
+        static_cast<sampling::StratumId>(rng.uniform_int(100'000));
+    EXPECT_EQ(table.insert(stratum), mirror.insert(stratum).second);
+  }
+  EXPECT_EQ(table.size(), mirror.size());
+  for (const auto stratum : mirror) {
+    EXPECT_TRUE(table.contains(stratum));
+  }
+  // Power-of-two capacity, never above the 70 % load ceiling.
+  EXPECT_EQ(table.slot_count() & (table.slot_count() - 1), 0u);
+  EXPECT_LE(table.size() * 10, table.slot_count() * 7);
+}
+
+TEST(StratumTable, CollisionChainProbesGrowLinearly) {
+  // Build ids that all hash to one home slot at the current capacity; the
+  // i-th collider must walk the i previous entries plus the empty slot.
+  StratumTable table(64);
+  ASSERT_EQ(table.slot_count(), 64u);
+  const std::size_t home = StratumTable::preferred_slot(0, 64);
+  std::vector<sampling::StratumId> colliders{0};
+  for (std::uint32_t s = 1; colliders.size() < 5; ++s) {
+    if (StratumTable::preferred_slot(s, 64) == home) colliders.push_back(s);
+  }
+
+  std::uint64_t previous = table.probes();
+  for (std::size_t i = 0; i < colliders.size(); ++i) {
+    ASSERT_TRUE(table.insert(colliders[i]));
+    EXPECT_EQ(table.probes() - previous, i + 1)
+        << "collider " << i << " should probe exactly " << i + 1 << " slots";
+    previous = table.probes();
+  }
+  // A duplicate of the chain's tail re-walks the whole chain.
+  ASSERT_FALSE(table.insert(colliders.back()));
+  EXPECT_EQ(table.probes() - previous, colliders.size());
+  for (const auto stratum : colliders) {
+    EXPECT_TRUE(table.contains(stratum));
+  }
+}
+
+TEST(StratumTable, SparseInsertsProbeNearOnce) {
+  // At low load the expected probe chain is barely above one slot — the
+  // property that makes the kernel's per-run-boundary probe cheap.
+  StratumTable table(4096);
+  Rng rng(7);
+  const int inserts = 1000;
+  for (int i = 0; i < inserts; ++i) {
+    table.insert(static_cast<sampling::StratumId>(rng.uniform_int(1u << 30)));
+  }
+  EXPECT_LT(static_cast<double>(table.probes()) / inserts, 2.0);
+}
+
+}  // namespace
+}  // namespace streamapprox::ingest
