@@ -43,10 +43,41 @@ def check_micro_exchange_run(path, index, run):
     return ok
 
 
+def check_micro_sketches_run(path, index, run):
+    """Sketch-vs-sample ablation runs carry the ablation axes explicitly:
+    which method answered (full-stream sketch or OASRS sample), which
+    sketch kind the row ablates, the key universe ('strata'), the headline
+    records/s, and the measured error against the exact stream answer."""
+    ok = True
+    for key in ("method", "sketch", "strata", "records_per_sec",
+                "measured_error"):
+        if key not in run:
+            ok = fail(path, f"runs[{index}] missing key '{key}'")
+    if not ok:
+        return False
+    if run["method"] not in ("sketch", "sample"):
+        ok = fail(path, f"runs[{index}].method = {run['method']!r} is not "
+                        "'sketch' or 'sample'")
+    if run["sketch"] not in ("count_min", "hll", "kll"):
+        ok = fail(path, f"runs[{index}].sketch = {run['sketch']!r} is not "
+                        "'count_min', 'hll' or 'kll'")
+    if not isinstance(run["strata"], int) or run["strata"] < 1:
+        ok = fail(path, f"runs[{index}].strata is not a positive integer")
+    rps = run["records_per_sec"]
+    if not isinstance(rps, (int, float)) or rps <= 0:
+        ok = fail(path, f"runs[{index}].records_per_sec = {rps!r} is not > 0")
+    error = run["measured_error"]
+    if not isinstance(error, (int, float)) or error < 0:
+        ok = fail(path, f"runs[{index}].measured_error = {error!r} is not a "
+                        "number >= 0")
+    return ok
+
+
 # Benchmark-specific run validators, keyed by the 'benchmark' field. Every
 # run still passes the universal envelope checks in check_run first.
 RUN_CHECKS = {
     "micro_exchange": check_micro_exchange_run,
+    "micro_sketches": check_micro_sketches_run,
 }
 
 

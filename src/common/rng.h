@@ -176,9 +176,21 @@ class Rng {
   std::uint64_t zipf(std::uint64_t n, double s) noexcept {
     if (n <= 1) return 0;
     if (s <= 0.0) return uniform_int(n);
+    const double nd = static_cast<double>(n);
+    if (std::abs(1.0 - s) < 1e-6) {
+      // s = 1 is a singularity of the general inversion below (1/(1-s)
+      // blows up; x degenerates to 1 and every draw collapsed to stratum
+      // 0). The s → 1 limit of the same inversion is k = ⌊(n+1)^u⌋, i.e.
+      // P(k) = ln((k+1)/k)/ln(n+1) ∝ 1/k — the harmonic Zipf law — and it
+      // is continuous with the neighbouring exponents.
+      for (;;) {
+        const double u = uniform();
+        const double k = std::floor(std::pow(nd + 1.0, u));
+        if (k >= 1.0 && k <= nd) return static_cast<std::uint64_t>(k) - 1;
+      }
+    }
     // Rejection-inversion (Hormann & Derflinger) simplified: acceptable for
     // workload generation (not on estimation-critical paths).
-    const double nd = static_cast<double>(n);
     for (;;) {
       const double u = uniform();
       const double x = std::pow(nd + 1.0, 1.0 - s) * u + (1.0 - u);

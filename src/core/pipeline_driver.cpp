@@ -51,6 +51,7 @@ PipelineDriver::PipelineDriver(PipelineDriverConfig config, OutputFn on_output,
       assembler_(config_.window),
       feedback_(feedback_base_config(), config_.initial_budget),
       slide_budget_(config_.initial_budget) {
+  sketch_plan_ = std::make_shared<const sketch::SketchPlan>();
   if (!config_.evaluate) return;
   // Seed the query registry: the configured set, or — for backward
   // compatibility — a set synthesised from the legacy single-query fields.
@@ -74,6 +75,7 @@ PipelineDriver::PipelineDriver(PipelineDriverConfig config, OutputFn on_output,
   }
   for (const auto& q : queries_) live_names_.push_back(q.sink->name());
   live_query_count_.store(queries_.size(), std::memory_order_release);
+  publish_sketch_plan();
 }
 
 PipelineDriver::~PipelineDriver() {
@@ -102,6 +104,11 @@ void PipelineDriver::register_sink(
     std::shared_ptr<QuerySubscription> subscription,
     std::uint64_t attach_slide, std::size_t seed_budget) {
   RegisteredQuery q;
+  if (sketch::SketchSpec* spec = sink->mutable_sketch_spec()) {
+    // Unique per driver: worker-local slide states and the sink find each
+    // other by this id after merges.
+    spec->id = next_sketch_id_++;
+  }
   sink->bind(config_.window, config_.z);
   if (const auto target = sink->accuracy_target(fallback_target())) {
     q.controller = feedback_.add_target(*target, seed_budget);
@@ -210,6 +217,27 @@ void PipelineDriver::apply_pending_ops() {
   for (const auto& q : queries_) live_names_.push_back(q.sink->name());
   live_query_count_.store(queries_.size(), std::memory_order_release);
   registry_generation_.fetch_add(1, std::memory_order_release);
+  // Membership changed: workers provisioning NEWLY opened slides must see
+  // the new spec set. Slides already open keep their old states; a spec
+  // they miss surfaces as an incomplete slide and the sink withholds that
+  // window's sketch payload (never a partial answer).
+  publish_sketch_plan();
+}
+
+void PipelineDriver::publish_sketch_plan() {
+  auto plan = std::make_shared<sketch::SketchPlan>();
+  for (auto& q : queries_) {
+    if (const sketch::SketchSpec* spec = q.sink->mutable_sketch_spec()) {
+      plan->specs.push_back(*spec);
+    }
+  }
+  std::lock_guard lock(sketch_plan_mutex_);
+  sketch_plan_ = std::move(plan);
+}
+
+std::shared_ptr<const sketch::SketchPlan> PipelineDriver::sketch_plan() const {
+  std::lock_guard lock(sketch_plan_mutex_);
+  return sketch_plan_;
 }
 
 sampling::OasrsConfig PipelineDriver::slide_sampler_config(
@@ -236,12 +264,15 @@ sampling::OasrsConfig PipelineDriver::slide_sampler_config(
   return oasrs;
 }
 
-PipelineDriver::Sampler& PipelineDriver::sampler_for(std::int64_t slide) {
+PipelineDriver::OpenSlide& PipelineDriver::slide_for(std::int64_t slide) {
   auto it = open_slides_.find(slide);
   if (it == open_slides_.end()) {
     it = open_slides_
-             .try_emplace(slide, slide_sampler_config(slide),
-                          engine::RecordStratum{})
+             .try_emplace(
+                 slide,
+                 OpenSlide{Sampler(slide_sampler_config(slide),
+                                   engine::RecordStratum{}),
+                           sketch::SlideSketches(*sketch_plan())})
              .first;
   }
   return it->second;
@@ -258,7 +289,9 @@ bool PipelineDriver::offer(const engine::Record& record) {
     // taxi data) must not sweep through millions of empty slides.
     next_to_close_ = next_to_close_ ? std::min(*next_to_close_, slide) : slide;
   }
-  sampler_for(slide).offer(record);
+  OpenSlide& open = slide_for(slide);
+  open.sampler.offer(record);
+  open.sketches.absorb(&record, 1);
   return true;
 }
 
@@ -274,7 +307,9 @@ std::size_t PipelineDriver::offer_batch(const engine::Record* records,
           next_to_close_ =
               next_to_close_ ? std::min(*next_to_close_, slide) : slide;
         }
-        sampler_for(slide).offer_batch(run, n);
+        OpenSlide& open = slide_for(slide);
+        open.sampler.offer_batch(run, n);
+        open.sketches.absorb(run, n);
         accepted += n;
       });
   return accepted;
@@ -307,12 +342,14 @@ void PipelineDriver::close_internal(std::int64_t slide) {
   if (!closed_any_) assembler_.set_base_slide(slide);
   auto it = open_slides_.find(slide);
   if (it == open_slides_.end()) {
-    complete_slide({}, nullptr);
+    complete_slide({}, nullptr, nullptr);
     return;
   }
-  auto sample = it->second.take();
+  auto sample = it->second.sampler.take();
+  sketch::SlideSketches sketches = std::move(it->second.sketches);
   open_slides_.erase(it);
-  complete_slide(summarize_with_cost(sample, config_.query_cost), &sample);
+  complete_slide(summarize_with_cost(sample, config_.query_cost), &sample,
+                 &sketches);
 }
 
 void PipelineDriver::pad_until(std::int64_t slide) {
@@ -323,7 +360,7 @@ void PipelineDriver::pad_until(std::int64_t slide) {
   if (!next_to_close_) next_to_close_ = slide;
   if (!closed_any_) assembler_.set_base_slide(*next_to_close_);
   while (*next_to_close_ < slide) {
-    complete_slide({}, nullptr);
+    complete_slide({}, nullptr, nullptr);
     ++*next_to_close_;
   }
 }
@@ -331,20 +368,31 @@ void PipelineDriver::pad_until(std::int64_t slide) {
 void PipelineDriver::close_slide_sample(
     std::int64_t slide, sampling::StratifiedSample<engine::Record> sample) {
   pad_until(slide);
-  complete_slide(summarize_with_cost(sample, config_.query_cost), &sample);
+  complete_slide(summarize_with_cost(sample, config_.query_cost), &sample,
+                 nullptr);
+  ++*next_to_close_;
+}
+
+void PipelineDriver::close_slide_sample(
+    std::int64_t slide, sampling::StratifiedSample<engine::Record> sample,
+    sketch::SlideSketches sketches) {
+  pad_until(slide);
+  complete_slide(summarize_with_cost(sample, config_.query_cost), &sample,
+                 &sketches);
   ++*next_to_close_;
 }
 
 void PipelineDriver::close_slide_cells(
     std::int64_t slide, std::vector<estimation::StratumSummary> cells) {
   pad_until(slide);
-  complete_slide(std::move(cells), nullptr);
+  complete_slide(std::move(cells), nullptr, nullptr);
   ++*next_to_close_;
 }
 
 void PipelineDriver::complete_slide(
     std::vector<estimation::StratumSummary> cells,
-    const sampling::StratifiedSample<engine::Record>* sample) {
+    const sampling::StratifiedSample<engine::Record>* sample,
+    const sketch::SlideSketches* sketches) {
   closed_any_ = true;
 
   // The dynamic-lifecycle boundary: queued attach/detach operations take
@@ -370,7 +418,7 @@ void PipelineDriver::complete_slide(
     if (feedback_.empty()) last_cells_ = cells;
     // Slide-granular fan-out: sinks that keep per-slide state (the HISTOGRAM
     // ring) see every closed slide, empty padded ones included.
-    for (auto& q : queries_) q.sink->on_slide(cells, sample);
+    for (auto& q : queries_) q.sink->on_slide(cells, sample, sketches);
   }
 
   bool fed_back = false;

@@ -241,6 +241,14 @@ class PipelineDriver {
   void close_slide_sample(std::int64_t slide,
                           sampling::StratifiedSample<engine::Record> sample);
 
+  /// As above, additionally carrying the merged worker-local sketch state
+  /// for the slide — the sharded merger folds its shards' SlideSketches
+  /// together (exact, order-insensitive) and hands the result here so
+  /// sketch sinks see the same state the sequential path would produce.
+  void close_slide_sample(std::int64_t slide,
+                          sampling::StratifiedSample<engine::Record> sample,
+                          sketch::SlideSketches sketches);
+
   /// Closes `slide` with pre-summarised cells (engines that aggregate
   /// without materialising a sample). Same ordering contract as
   /// close_slide_sample. No histogram contribution.
@@ -264,6 +272,11 @@ class PipelineDriver {
                                              std::size_t shard_strata = 0,
                                              std::size_t total_strata = 0)
       const;
+
+  /// Immutable snapshot of the sketch specs in force — sharded workers take
+  /// one when they open a per-slide state to provision its SlideSketches.
+  /// Rebuilt at registration boundaries; safe from any thread.
+  std::shared_ptr<const sketch::SketchPlan> sketch_plan() const;
 
   // ---- Dynamic query lifecycle (safe from ANY thread) --------------------
 
@@ -367,8 +380,19 @@ class PipelineDriver {
   /// is accuracy-kind).
   std::optional<double> fallback_target() const;
 
-  /// Looks up (or opens) the sampler of `slide` on the sequential path.
-  Sampler& sampler_for(std::int64_t slide);
+  /// Per-open-slide state on the sequential path: the OASRS sampler plus
+  /// the sketch states collecting beside it over the full record stream.
+  struct OpenSlide {
+    Sampler sampler;
+    sketch::SlideSketches sketches;
+  };
+
+  /// Looks up (or opens) the state of `slide` on the sequential path.
+  OpenSlide& slide_for(std::int64_t slide);
+
+  /// Rebuilds the published sketch plan from the live registry. Lifecycle
+  /// thread only (constructor seeding and registration boundaries).
+  void publish_sketch_plan();
 
   /// Closes one slide owned by the internal map (sequential path).
   void close_internal(std::int64_t slide);
@@ -382,7 +406,8 @@ class PipelineDriver {
   /// query fan-out (shared callback + per-query channels) and the feedback
   /// loop.
   void complete_slide(std::vector<estimation::StratumSummary> cells,
-                      const sampling::StratifiedSample<engine::Record>* sample);
+                      const sampling::StratifiedSample<engine::Record>* sample,
+                      const sketch::SlideSketches* sketches);
 
   PipelineDriverConfig config_;
   OutputFn on_output_;
@@ -415,7 +440,15 @@ class PipelineDriver {
   std::atomic<std::uint64_t> registry_generation_{0};
   std::atomic<std::size_t> live_query_count_{0};
 
-  std::map<std::int64_t, Sampler> open_slides_;
+  // ---- Sketch plan (worker-visible spec snapshot) ------------------------
+  /// Guards sketch_plan_ only (leaf lock: taken under control_mutex_ when
+  /// registration rebuilds the plan, and alone by workers snapshotting it).
+  mutable std::mutex sketch_plan_mutex_;
+  std::shared_ptr<const sketch::SketchPlan> sketch_plan_;
+  /// Next sketch-spec id to assign (ids are unique per driver).
+  std::uint64_t next_sketch_id_ = 1;
+
+  std::map<std::int64_t, OpenSlide> open_slides_;
   std::optional<std::int64_t> next_to_close_;
   bool closed_any_ = false;
 

@@ -7,6 +7,7 @@
 
 #include "common/stats.h"
 #include "estimation/estimators.h"
+#include "sketch/sketch_sink.h"
 
 namespace streamapprox::core {
 namespace {
@@ -59,8 +60,10 @@ void HistogramSink::bind(const engine::WindowConfig& window,
 
 void HistogramSink::on_slide(
     const std::vector<estimation::StratumSummary>& cells,
-    const sampling::StratifiedSample<engine::Record>* sample) {
+    const sampling::StratifiedSample<engine::Record>* sample,
+    const sketch::SlideSketches* sketches) {
   (void)cells;
+  (void)sketches;
   // Per-slide weighted histograms; the window histogram is the merge of its
   // slides'. Cells-only paths carry no values, so they contribute an empty
   // slide histogram (the ring must still advance to stay window-aligned).
@@ -128,6 +131,12 @@ QuerySet& QuerySet::histogram(std::string name,
   auto sink = std::make_unique<HistogramSink>(std::move(name), spec);
   if (z) sink->set_z(*z);
   return add(std::move(sink));
+}
+
+QuerySet& QuerySet::sketch(std::string name, sketch::SketchSpec spec,
+                           std::vector<double> quantiles) {
+  return add(std::make_unique<sketch::SketchSink>(std::move(name), spec,
+                                                  std::move(quantiles)));
 }
 
 std::vector<std::unique_ptr<QuerySink>> QuerySet::clone_sinks() const {

@@ -23,6 +23,7 @@
 #include "engine/window.h"
 #include "estimation/approx_result.h"
 #include "estimation/histogram_query.h"
+#include "sketch/sketch_query.h"
 
 namespace streamapprox::core {
 
@@ -59,6 +60,11 @@ struct QueryOutput {
   /// The observed relative error bound at `z` — this query's term in the
   /// adaptive feedback loop.
   double observed_relative_bound = 0.0;
+  /// Sketch answer (sketch-backed sinks only). Present only when every slide
+  /// of the window was fully digested by the sink's sketch — a dynamically
+  /// attached sketch withholds its payload until a complete window's worth
+  /// of fully-observed slides has accumulated.
+  std::optional<sketch::SketchAnswer> sketch;
 };
 
 /// A registered query: evaluates each assembled window's cells into a
@@ -106,12 +112,16 @@ class QuerySink {
   /// Called for EVERY closed slide in order (empty padded slides included),
   /// before window assembly — the hook for sinks that need slide-granular
   /// state. `sample` is the materialised stratified sample when one exists
-  /// (live OASRS paths) and null on pre-summarised cells paths.
+  /// (live OASRS paths) and null on pre-summarised cells paths; `sketches`
+  /// is the merged worker-local sketch state for the slide when the driver
+  /// ingested the records itself (null on cells-only harness paths).
   virtual void on_slide(
       const std::vector<estimation::StratumSummary>& cells,
-      const sampling::StratifiedSample<engine::Record>* sample) {
+      const sampling::StratifiedSample<engine::Record>* sample,
+      const sketch::SlideSketches* sketches) {
     (void)cells;
     (void)sample;
+    (void)sketches;
   }
 
   /// Evaluates one assembled window.
@@ -129,6 +139,11 @@ class QuerySink {
   /// Produces an UNBOUND sink with the same configuration (fresh runtime
   /// state); the driver clones the registered set at construction.
   virtual std::unique_ptr<QuerySink> clone() const = 0;
+
+  /// Sketch-backed sinks expose their collection spec here so the driver
+  /// can assign it a unique id at registration and provision worker-local
+  /// per-slide sketch state for it. Sample-backed sinks return nullptr.
+  virtual sketch::SketchSpec* mutable_sketch_spec() { return nullptr; }
 
  protected:
   std::string name_;
@@ -168,7 +183,8 @@ class HistogramSink : public QuerySink {
   void bind(const engine::WindowConfig& window, double default_z) override;
   void on_slide(
       const std::vector<estimation::StratumSummary>& cells,
-      const sampling::StratifiedSample<engine::Record>* sample) override;
+      const sampling::StratifiedSample<engine::Record>* sample,
+      const sketch::SlideSketches* sketches) override;
   QueryOutput evaluate(const engine::WindowResult& window) override;
 
   /// Histograms never inherit the config-level accuracy budget — only an
@@ -216,6 +232,13 @@ class QuerySet {
   /// Convenience: registers a HistogramSink.
   QuerySet& histogram(std::string name, estimation::HistogramSpec spec,
                       std::optional<double> z = std::nullopt);
+
+  /// Convenience: registers a SketchSink for the given collection spec
+  /// (Count-Min heavy hitters, HyperLogLog distinct count, or quantiles —
+  /// see sketch::SketchSpec). `quantiles` is the probe grid for quantile
+  /// sketches (ignored by the other kinds).
+  QuerySet& sketch(std::string name, sketch::SketchSpec spec,
+                   std::vector<double> quantiles = {0.5, 0.95, 0.99});
 
   bool empty() const noexcept { return sinks_.empty(); }
   std::size_t size() const noexcept { return sinks_.size(); }

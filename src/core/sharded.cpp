@@ -81,12 +81,27 @@ namespace {
 
 constexpr std::int64_t kNoSlide = std::numeric_limits<std::int64_t>::max();
 
+/// One worker's state for one open slide: the OASRS sampler plus the sketch
+/// states collecting beside it over the full (unsampled) record stream. Both
+/// merge at slide close — the sampler distribution-identically, the sketches
+/// exactly, which is what makes sharded sketch answers bit-identical to the
+/// sequential path's.
+struct WorkerSlide {
+  PipelineDriver::Sampler sampler;
+  sketch::SlideSketches sketches;
+
+  WorkerSlide(sampling::OasrsConfig config,
+              std::shared_ptr<const sketch::SketchPlan> plan)
+      : sampler(std::move(config), engine::RecordStratum{}),
+        sketches(*plan) {}
+};
+
 /// Worker-local state the merger reaches into: the per-slide samplers of one
 /// shard, guarded by a mutex the owning worker holds only while applying a
 /// polled batch (never across polls, never against another worker).
 struct Shard {
   std::mutex mutex;
-  std::map<std::int64_t, PipelineDriver::Sampler> slides;
+  std::map<std::int64_t, WorkerSlide> slides;
   /// The stratum-occupancy share last applied to this shard's samplers:
   /// `occupancy_my` of `occupancy_total` strata route here, so new slide
   /// samplers get budget · my/total instead of the flat budget/workers
@@ -202,8 +217,8 @@ void apply_occupancy_locked(ShardedPlan& plan, std::size_t w, Shard& shard,
   }
   shard.occupancy_my = my_strata;
   shard.occupancy_total = total_strata;
-  for (auto& [slide, sampler] : shard.slides) {
-    sampler.set_total_budget(
+  for (auto& [slide, open] : shard.slides) {
+    open.sampler.set_total_budget(
         plan.driver
             .slide_sampler_config(slide, w, plan.workers, my_strata,
                                   total_strata)
@@ -254,12 +269,16 @@ void absorb_batch(ShardedPlan& plan, std::size_t w,
                                     slide, w, plan.workers,
                                     shard.occupancy_my,
                                     shard.occupancy_total),
-                                engine::RecordStratum{})
+                                plan.driver.sketch_plan())
                    .first;
           atomic_min(plan.first_slide, slide);
         }
+        // Sketches digest the FULL stream (sampling happens beside them),
+        // whichever worker the run landed on — merge exactness makes the
+        // final per-slide state independent of that placement.
+        it->second.sketches.absorb(run, n);
         if (run_count == 0) {
-          it->second.offer_batch(run, n);
+          it->second.sampler.offer_batch(run, n);
           return;
         }
         const std::size_t begin = static_cast<std::size_t>(run - records);
@@ -274,7 +293,7 @@ void absorb_batch(ShardedPlan& plan, std::size_t w,
           const std::size_t sr_end = sr.offset + sr.length;
           const std::size_t take =
               std::min<std::size_t>(sr_end, slide_end) - pos;
-          it->second.offer_run(sr.stratum, records + pos, take);
+          it->second.sampler.offer_run(sr.stratum, records + pos, take);
           pos += take;
           if (sr_end <= pos) ++ri;
         }
@@ -297,8 +316,9 @@ void merge_until_done(ShardedPlan& plan,
     plan.closed_through.store(slide + 1, std::memory_order_release);
     PipelineDriver::Sampler merged(plan.driver.slide_sampler_config(slide),
                                    engine::RecordStratum{});
+    sketch::SlideSketches merged_sketches;
     for (auto& shard : plan.shards) {
-      std::map<std::int64_t, PipelineDriver::Sampler>::node_type node;
+      std::map<std::int64_t, WorkerSlide>::node_type node;
       {
         std::lock_guard lock(shard.mutex);
         // Stranded entries below the closing slide are late beyond the
@@ -311,7 +331,10 @@ void merge_until_done(ShardedPlan& plan,
         }
         node = shard.slides.extract(slide);
       }
-      if (node) merged.merge(node.mapped());
+      if (node) {
+        merged.merge(node.mapped().sampler);
+        merged_sketches.merge(node.mapped().sketches);
+      }
     }
     // Kernel counters rode along through merge(); the extracted per-slide
     // samplers are destroyed below, so this is the one place to bank them.
@@ -319,7 +342,8 @@ void merge_until_done(ShardedPlan& plan,
     plan.sampler_bulk_runs.fetch_add(ks.bulk_runs, std::memory_order_relaxed);
     plan.sampler_accepts.fetch_add(ks.accepted, std::memory_order_relaxed);
     plan.sampler_skipped.fetch_add(ks.skipped, std::memory_order_relaxed);
-    plan.driver.close_slide_sample(slide, merged.take());
+    plan.driver.close_slide_sample(slide, merged.take(),
+                                   std::move(merged_sketches));
     after_close(slide);
   };
 

@@ -1,0 +1,63 @@
+#include "estimation/sample_queries.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace streamapprox::estimation {
+
+std::vector<std::pair<std::uint64_t, double>> sample_heavy_hitters(
+    const sampling::StratifiedSample<engine::Record>& sample,
+    const SampleKeyFn& key, std::size_t top_k) {
+  std::unordered_map<std::uint64_t, double> estimated;
+  for (const auto& stratum : sample.strata) {
+    for (const auto& record : stratum.items) {
+      estimated[key(record)] += stratum.weight;
+    }
+  }
+  std::vector<std::pair<std::uint64_t, double>> ranked(estimated.begin(),
+                                                       estimated.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+std::uint64_t sample_distinct(
+    const sampling::StratifiedSample<engine::Record>& sample,
+    const SampleKeyFn& key) {
+  std::unordered_set<std::uint64_t> keys;
+  for (const auto& stratum : sample.strata) {
+    for (const auto& record : stratum.items) {
+      keys.insert(key(record));
+    }
+  }
+  return keys.size();
+}
+
+double sample_quantile(
+    const sampling::StratifiedSample<engine::Record>& sample, double q) {
+  std::vector<std::pair<double, double>> weighted;  // (value, weight)
+  double total_weight = 0.0;
+  for (const auto& stratum : sample.strata) {
+    for (const auto& record : stratum.items) {
+      weighted.emplace_back(record.value, stratum.weight);
+      total_weight += stratum.weight;
+    }
+  }
+  if (weighted.empty() || total_weight <= 0.0) return 0.0;
+  std::sort(weighted.begin(), weighted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_weight;
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return weighted.back().first;
+}
+
+}  // namespace streamapprox::estimation

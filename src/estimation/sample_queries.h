@@ -1,0 +1,46 @@
+// Sample-backed estimators for the query classes the sketch family answers —
+// heavy hitters, distinct counts, quantiles — computed from a stratified
+// OASRS sample instead of a full-stream sketch. These exist for the
+// sketch-vs-sample ablation (bench/micro_sketches.cpp): frequency-style
+// answers scale each sampled record by its stratum weight W_i, but a sample
+// structurally undercounts DISTINCT keys (it cannot see keys it dropped) and
+// its tail quantiles degrade with the sampling fraction — exactly the gap
+// the sketch sinks close.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "engine/record.h"
+#include "sampling/sample.h"
+
+namespace streamapprox::estimation {
+
+/// Extracts the grouping key a sample-backed frequency estimator counts by.
+using SampleKeyFn = std::function<std::uint64_t(const engine::Record&)>;
+
+/// Population-scale key frequencies estimated from the sample: every sampled
+/// record contributes its stratum weight W_i to its key's count. Returns the
+/// top_k keys ordered by estimated count desc, key asc (the sketch sink's
+/// deterministic ordering, so ablation rows compare like for like).
+std::vector<std::pair<std::uint64_t, double>> sample_heavy_hitters(
+    const sampling::StratifiedSample<engine::Record>& sample,
+    const SampleKeyFn& key, std::size_t top_k);
+
+/// Distinct keys OBSERVED in the sample. A sample cannot estimate past its
+/// kept records, so this undercounts the stream's true cardinality whenever
+/// the sampling fraction drops below 1 — the structural sample-vs-sketch gap
+/// the ablation measures.
+std::uint64_t sample_distinct(
+    const sampling::StratifiedSample<engine::Record>& sample,
+    const SampleKeyFn& key);
+
+/// Weight-expanded sample quantile: the value at rank q of the sampled
+/// records, each counted with its stratum weight W_i. Returns 0 when the
+/// sample is empty.
+double sample_quantile(
+    const sampling::StratifiedSample<engine::Record>& sample, double q);
+
+}  // namespace streamapprox::estimation

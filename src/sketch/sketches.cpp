@@ -1,0 +1,249 @@
+#include "sketch/sketches.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace streamapprox::sketch {
+namespace {
+
+constexpr double kEulersNumber = 2.718281828459045;
+
+// Folds (tag, value) into an order-insensitive digest accumulator: each cell
+// is mixed independently and the results are summed, so the digest depends
+// only on the multiset of cells, matching the merge semantics.
+std::uint64_t fold(std::uint64_t acc, std::uint64_t tag,
+                   std::uint64_t value) noexcept {
+  return acc + mix64(tag * 0x9ddfea08eb382d69ULL + value);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CountMinSketch
+
+std::size_t CountMinSketch::width_for(double epsilon) {
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    throw std::invalid_argument("count-min epsilon must be in (0, 1)");
+  }
+  return static_cast<std::size_t>(std::ceil(kEulersNumber / epsilon));
+}
+
+std::size_t CountMinSketch::depth_for(double delta) {
+  if (!(delta > 0.0) || delta >= 1.0) {
+    throw std::invalid_argument("count-min delta must be in (0, 1)");
+  }
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(std::log(1.0 / delta))));
+}
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  if (width_ == 0 || depth_ == 0) {
+    throw std::invalid_argument("count-min width and depth must be positive");
+  }
+  counters_.assign(width_ * depth_, 0);
+}
+
+std::size_t CountMinSketch::index(std::size_t row,
+                                  std::uint64_t key) const noexcept {
+  const std::uint64_t h = mix64(key ^ mix64(seed_ + row));
+  return row * width_ + static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::update(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[index(row, key)] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = counters_[index(0, key)];
+  for (std::size_t row = 1; row < depth_; ++row) {
+    best = std::min(best, counters_[index(row, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_) {
+    throw std::invalid_argument("count-min merge: incompatible sketches");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t CountMinSketch::digest() const noexcept {
+  std::uint64_t acc = mix64(seed_ ^ (width_ * 131 + depth_));
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] != 0) acc = fold(acc, i, counters_[i]);
+  }
+  return mix64(acc ^ total_);
+}
+
+// ---------------------------------------------------------------------------
+// HyperLogLog
+
+int HyperLogLog::precision_for(double epsilon) {
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("hyperloglog epsilon must be positive");
+  }
+  for (int p = 4; p <= 18; ++p) {
+    const double error = 1.04 / std::sqrt(static_cast<double>(1u << p));
+    if (error <= epsilon) return p;
+  }
+  return 18;
+}
+
+HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
+    : precision_(precision), seed_(seed) {
+  if (precision_ < 4 || precision_ > 18) {
+    throw std::invalid_argument("hyperloglog precision must be in [4, 18]");
+  }
+  registers_.assign(std::size_t{1} << precision_, 0);
+}
+
+void HyperLogLog::add(std::uint64_t key) {
+  const std::uint64_t h = mix64(key ^ mix64(seed_));
+  const std::size_t idx = static_cast<std::size_t>(h >> (64 - precision_));
+  const std::uint64_t rest = h << precision_;
+  const std::uint8_t rank = static_cast<std::uint8_t>(
+      rest == 0 ? 64 - precision_ + 1 : std::countl_zero(rest) + 1);
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+double HyperLogLog::standard_error() const noexcept {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inverse_sum = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  double alpha = 0.7213 / (1.0 + 1.079 / m);
+  if (registers_.size() == 16) alpha = 0.673;
+  if (registers_.size() == 32) alpha = 0.697;
+  if (registers_.size() == 64) alpha = 0.709;
+  const double raw = alpha * m * m / inverse_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (precision_ != other.precision_ || seed_ != other.seed_) {
+    throw std::invalid_argument("hyperloglog merge: incompatible sketches");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+std::uint64_t HyperLogLog::digest() const noexcept {
+  std::uint64_t acc = mix64(seed_ ^ static_cast<std::uint64_t>(precision_));
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (registers_[i] != 0) acc = fold(acc, i, registers_[i]);
+  }
+  return mix64(acc);
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha >= 1.0) {
+    throw std::invalid_argument("quantile alpha must be in (0, 1)");
+  }
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  log_gamma_ = std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::bucket_index(double magnitude) const {
+  return static_cast<std::int32_t>(
+      std::ceil(std::log(magnitude) / log_gamma_));
+}
+
+double QuantileSketch::representative(std::int32_t index) const {
+  // Midpoint (harmonic) of bucket (γ^(i−1), γ^i]: 2γ^i / (γ+1) — within α
+  // relative error of every value in the bucket.
+  return 2.0 * std::pow(gamma_, static_cast<double>(index)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::update(double value) {
+  ++count_;
+  // Magnitudes below the smallest representable bucket boundary collapse to
+  // the zero bucket (their absolute value is ≤ 1e-12; relative error on such
+  // answers is meaningless at double precision anyway).
+  const double magnitude = std::abs(value);
+  if (magnitude <= 1e-12) {
+    ++zero_count_;
+  } else if (value > 0.0) {
+    ++positive_[bucket_index(magnitude)];
+  } else {
+    ++negative_[bucket_index(magnitude)];
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target =
+      q * static_cast<double>(count_ - 1);  // rank in [0, count)
+  std::uint64_t cumulative = 0;
+  // Ascending value order: most-negative first (descending |v| index), then
+  // zeros, then positives ascending.
+  for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+    cumulative += it->second;
+    if (static_cast<double>(cumulative) > target) {
+      return -representative(it->first);
+    }
+  }
+  cumulative += zero_count_;
+  if (static_cast<double>(cumulative) > target) return 0.0;
+  for (const auto& [index, bucket_count] : positive_) {
+    cumulative += bucket_count;
+    if (static_cast<double>(cumulative) > target) {
+      return representative(index);
+    }
+  }
+  // Numerically unreachable; return the largest representative for safety.
+  return positive_.empty() ? 0.0 : representative(positive_.rbegin()->first);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (alpha_ != other.alpha_) {
+    throw std::invalid_argument("quantile merge: incompatible sketches");
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, bucket_count] : other.positive_) {
+    positive_[index] += bucket_count;
+  }
+  for (const auto& [index, bucket_count] : other.negative_) {
+    negative_[index] += bucket_count;
+  }
+}
+
+std::uint64_t QuantileSketch::digest() const noexcept {
+  std::uint64_t acc = mix64(std::bit_cast<std::uint64_t>(alpha_));
+  for (const auto& [index, bucket_count] : positive_) {
+    acc = fold(acc, static_cast<std::uint64_t>(index) * 2 + 2, bucket_count);
+  }
+  for (const auto& [index, bucket_count] : negative_) {
+    acc = fold(acc, static_cast<std::uint64_t>(index) * 2 + 3, bucket_count);
+  }
+  return mix64(acc ^ (count_ * 0x9e3779b97f4a7c15ULL) ^ zero_count_);
+}
+
+}  // namespace streamapprox::sketch

@@ -116,6 +116,61 @@ TEST(DynamicQuery, AttachAppliesAtBoundaryAndSeesOnlyWholeWindows) {
   driver.finish();
 }
 
+TEST(DynamicQuery, SlowConsumerDropsNewestAndAccountsExactly) {
+  // A deliberately slow consumer: attach with a tiny channel and never poll
+  // while the run progresses. The lifecycle must never block on the full
+  // ring — it publishes, drops the NEWEST windows, and counts every drop —
+  // so the buffered entries are the OLDEST eligible windows and every
+  // eligible window is either delivered or accounted in dropped(). (The
+  // ring guarantees AT LEAST the requested capacity — it rounds up — so
+  // the exact split is asserted via conservation, not the request.)
+  constexpr std::size_t kCapacity = 2;
+  std::vector<WindowOutput> outputs;
+  std::shared_ptr<QuerySubscription> subscription;
+  std::size_t eligible = 0;
+  {
+    PipelineDriver driver(
+        driver_config_1s_windows(),
+        [&](const WindowOutput& o) { outputs.push_back(o); });
+    subscription = driver.attach_query(
+        std::make_unique<AggregateSink>(
+            "slow", QuerySpec{Aggregation::kCount, false}),
+        kCapacity);
+    ASSERT_NE(subscription, nullptr);
+
+    // [0, 5 s): the attach applies at the close of slide 0, so the sink's
+    // first whole window ends at slide 1 — every emitted window is eligible.
+    for (int i = 0; i < 5000; ++i) driver.offer(make_record(i));
+    driver.advance(5'000'000);  // closes slides 0..9 without a single poll
+    ASSERT_EQ(outputs.size(), 9u);  // windows ending at slides 1..9
+    eligible = outputs.size();
+
+    // The lifecycle thread never blocked: all windows were emitted while
+    // the consumer slept, and most of them overflowed the tiny channel.
+    EXPECT_GT(subscription->dropped(), 0u);
+    EXPECT_LT(subscription->dropped(), eligible);
+
+    driver.finish();
+  }  // teardown closes the channel; buffered output survives
+
+  // Drop-newest: what remains buffered is the OLDEST eligible windows, in
+  // emission order, starting from the sink's very first whole window.
+  std::vector<WindowOutput> drained;
+  while (auto output = subscription->poll()) drained.push_back(*output);
+  ASSERT_GE(drained.size(), kCapacity);
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].estimate.window_end_us,
+              1'000'000 + static_cast<std::int64_t>(i) * 500'000)
+        << "buffered window " << i << " is not the oldest run";
+    ASSERT_EQ(drained[i].queries.size(), 1u);
+    EXPECT_EQ(drained[i].queries[0].name, "slow");
+  }
+  EXPECT_TRUE(subscription->finished());
+  // Exact accounting: every eligible window was either delivered or counted
+  // as dropped — none vanished, none was double-published.
+  EXPECT_EQ(drained.size() + subscription->dropped(), eligible);
+}
+
 TEST(DynamicQuery, CancellingAPendingAttachNeverTakesEffect) {
   std::vector<WindowOutput> outputs;
   PipelineDriver driver(driver_config_1s_windows(),

@@ -492,6 +492,117 @@ TEST(WorkStealing, StaticBindingStillMatchesSequential) {
   expect_identical_windows(sequential, sharded.outputs);
 }
 
+// ---------------------------------------------------------------------------
+// Sketch sinks: unlike sample-backed estimates (whose sampled counts are
+// timing-dependent when sharded), sketch state is merge-EXACT — counter adds,
+// register maxes and bucket-count adds commute and associate — so the sharded
+// and work-stealing paths must produce answers BIT-IDENTICAL to the
+// sequential path, for all three sketch kinds, no matter how the scheduler
+// scattered the records.
+
+void register_sketch_suite(StreamApproxConfig& c) {
+  sketch::SketchSpec hot;
+  hot.kind = sketch::SketchSpec::Kind::kCountMin;
+  hot.key = sketch::SketchSpec::KeySource::kStratum;
+  hot.top_k = 5;
+  c.queries.sketch("hot strata", hot);
+  sketch::SketchSpec distinct;
+  distinct.kind = sketch::SketchSpec::Kind::kHyperLogLog;
+  distinct.key = sketch::SketchSpec::KeySource::kValueInt;
+  distinct.epsilon = 0.02;
+  c.queries.sketch("distinct values", distinct);
+  sketch::SketchSpec quant;
+  quant.kind = sketch::SketchSpec::Kind::kQuantile;
+  quant.epsilon = 0.02;
+  c.queries.sketch("value quantiles", quant, {0.5, 0.9, 0.99});
+}
+
+void expect_identical_sketch_answers(
+    const std::vector<WindowOutput>& sequential,
+    const std::vector<WindowOutput>& sharded) {
+  ASSERT_EQ(sequential.size(), sharded.size());
+  std::size_t payloads = 0;
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].records_seen, sharded[i].records_seen)
+        << "window " << i;
+    ASSERT_EQ(sequential[i].queries.size(), sharded[i].queries.size());
+    for (std::size_t q = 0; q < sequential[i].queries.size(); ++q) {
+      const auto& a = sequential[i].queries[q];
+      const auto& b = sharded[i].queries[q];
+      ASSERT_EQ(a.name, b.name);
+      ASSERT_EQ(a.sketch.has_value(), b.sketch.has_value())
+          << "window " << i << " query " << a.name;
+      if (!a.sketch.has_value()) continue;
+      ++payloads;
+      // Bit-identity: the full answer — counts, ranked heavy hitters,
+      // distinct estimate and every quantile probe — compares EXACTLY
+      // (SketchAnswer::operator== is defaulted member-wise equality,
+      // including the doubles).
+      EXPECT_TRUE(*a.sketch == *b.sketch)
+          << "window " << i << " query " << a.name
+          << ": sharded sketch answer diverged from sequential";
+    }
+  }
+  // All three sketches must actually have produced payloads to compare.
+  EXPECT_GE(payloads, 3u * (sequential.size() - 1));
+}
+
+TEST(SketchEquivalence, ExchangeShardedBitIdenticalToSequential) {
+  const auto records = make_hot_stream(3.0, 12000.0, 31);
+  const auto sequential = run_mode(records, 1, 2, register_sketch_suite);
+  const auto sharded = run_mode(records, 8, 2, register_sketch_suite);
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_sketch_answers(sequential, sharded);
+}
+
+TEST(SketchEquivalence, ForcedStealsBitIdenticalToSequential) {
+  // Acceptance: tiny deques + a hot stratum + per-record ingest cost force
+  // records through the thief path, scrambling which worker digests what.
+  // Per-worker sketch state merges exactly at slide close, so even that
+  // schedule must reproduce the sequential answers bit for bit.
+  const auto records = make_hot_stream(3.0, 12000.0, 32);
+  const auto sequential = run_mode(records, 1, 2, register_sketch_suite);
+  const auto sharded =
+      run_mode_with_stats(records, 8, 2, [](StreamApproxConfig& c) {
+        register_sketch_suite(c);
+        c.steal_deque_capacity = 2;
+        c.ingest_cost = {500};
+      });
+  EXPECT_GT(sharded.stats.steals + sharded.stats.injector_pushes, 0u)
+      << "the scheduler never redistributed work — the test lost its point";
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_sketch_answers(sequential, sharded.outputs);
+}
+
+TEST(SketchEquivalence, TwoExchangesBitIdenticalToSequential) {
+  // Acceptance: exchanges=2 splits the route/scatter work across two
+  // exchange shards; per-worker sketches still merge to the same state.
+  const auto records = make_hot_stream(3.0, 12000.0, 33);
+  const auto sequential = run_mode(records, 1, 4, register_sketch_suite);
+  const auto sharded =
+      run_mode_with_stats(records, 4, 4, [](StreamApproxConfig& c) {
+        register_sketch_suite(c);
+        c.exchanges = 2;
+      });
+  EXPECT_EQ(sharded.stats.exchanges, 2u);
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_sketch_answers(sequential, sharded.outputs);
+}
+
+TEST(SketchEquivalence, GroupModeBitIdenticalToSequential) {
+  // The partition-split path (exchange off) absorbs whole partition batches
+  // per worker — a completely different record→worker assignment, same
+  // merged sketch state.
+  const auto records = make_hot_stream(3.0, 12000.0, 34);
+  const auto sequential = run_mode(records, 1, 3, register_sketch_suite);
+  const auto sharded = run_mode(records, 4, 3, [](StreamApproxConfig& c) {
+    register_sketch_suite(c);
+    c.use_exchange = false;
+  });
+  ASSERT_GT(sequential.size(), 2u);
+  expect_identical_sketch_answers(sequential, sharded);
+}
+
 TEST(ParallelEquivalence, ShardedAdaptiveBudgetStillGrows) {
   const auto records = make_stream(5.0, 30000.0, 11);
   ingest::Broker broker;

@@ -239,14 +239,14 @@ TEST(QueryRegistry, HistogramSinkKeepsWindowAlignedRing) {
   const auto s1 = slide_sample(1.5);
   const auto s2 = slide_sample(2.5);
   const auto s3 = slide_sample(3.5);
-  sink.on_slide({}, &s1);
-  sink.on_slide({}, &s2);
+  sink.on_slide({}, &s1, nullptr);
+  sink.on_slide({}, &s2, nullptr);
   auto first = sink.evaluate(window);
   ASSERT_TRUE(first.histogram.has_value());
   EXPECT_DOUBLE_EQ(first.histogram->total(), 2.0);  // slides 1+2
   EXPECT_DOUBLE_EQ(first.histogram->bucket(1), 1.0);
 
-  sink.on_slide({}, &s3);
+  sink.on_slide({}, &s3, nullptr);
   auto second = sink.evaluate(window);
   ASSERT_TRUE(second.histogram.has_value());
   EXPECT_DOUBLE_EQ(second.histogram->total(), 2.0);  // slides 2+3
@@ -277,7 +277,7 @@ TEST(QueryRegistry, QuerySetCopiesDeepCloneSinks) {
   stratum.weight = 1.0;
   stratum.items.push_back(Record{0, 5.0, 0});
   sample.strata.push_back(std::move(stratum));
-  clones[1]->on_slide({}, &sample);
+  clones[1]->on_slide({}, &sample, nullptr);
 
   WindowResult window;
   window.cells = {cell(0, 1, 1, 5.0, 1.0)};

@@ -174,6 +174,60 @@ TEST(Rng, ZipfZeroExponentIsUniformish) {
   for (int c : counts) EXPECT_NEAR(c, 10000, 600);
 }
 
+TEST(Rng, ZipfUnitExponentFollowsHarmonicLaw) {
+  // Regression: s = 1 is a singularity of the general rejection-inversion
+  // (the 1/(1-s) exponent blows up) and used to collapse every draw to
+  // stratum 0. The dedicated limit branch must produce the harmonic law
+  // P(k) = ln((k+2)/(k+1)) / ln(n+1) on the 0-based support.
+  constexpr std::uint64_t kN = 64;
+  constexpr int kDraws = 400'000;
+  Rng rng(19);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.zipf(kN, 1.0);
+    ASSERT_LT(v, kN);
+    ++counts[v];
+  }
+  // Not degenerate: a healthy spread of strata is actually drawn.
+  EXPECT_GT(std::count_if(counts.begin(), counts.end(),
+                          [](int c) { return c > 0; }),
+            static_cast<std::ptrdiff_t>(kN / 2));
+  const double log_np1 = std::log(static_cast<double>(kN) + 1.0);
+  for (const std::uint64_t k : {0ull, 1ull, 3ull, 7ull, 31ull}) {
+    const double expected =
+        std::log(static_cast<double>(k + 2) / static_cast<double>(k + 1)) /
+        log_np1;
+    const double observed = static_cast<double>(counts[k]) / kDraws;
+    // 5σ binomial tolerance around the exact harmonic frequency.
+    const double sigma =
+        std::sqrt(expected * (1.0 - expected) / kDraws);
+    EXPECT_NEAR(observed, expected, 5.0 * sigma + 1e-4) << "k=" << k;
+  }
+}
+
+TEST(Rng, ZipfContinuousAcrossUnitExponent) {
+  // The limit branch must join smoothly with the general inversion: head
+  // frequencies at s = 1 sit between those at s = 0.99 and s = 1.01 (up to
+  // sampling noise), so no distributional cliff hides at the switchover.
+  constexpr std::uint64_t kN = 1000;
+  constexpr int kDraws = 300'000;
+  const auto head_mass = [&](double s, std::uint64_t seed) {
+    Rng rng(seed);
+    int head = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      if (rng.zipf(kN, s) < 10) ++head;
+    }
+    return static_cast<double>(head) / kDraws;
+  };
+  const double below = head_mass(0.99, 20);
+  const double at = head_mass(1.0, 21);
+  const double above = head_mass(1.01, 22);
+  // Skew grows with s, so head mass is monotone in s; allow binomial noise.
+  EXPECT_GT(above, below);
+  EXPECT_GT(at, below - 0.01);
+  EXPECT_LT(at, above + 0.01);
+}
+
 TEST(Splitmix64, KnownGolden) {
   // Reference values from the splitmix64 reference implementation.
   std::uint64_t state = 0;
